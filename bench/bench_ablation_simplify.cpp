@@ -1,0 +1,72 @@
+// Boundary-simplification ablation: Step-4 cost is boundary-tile cells
+// x polygon vertices, so Douglas-Peucker generalization of the zone
+// layer trades histogram exactness for refinement work -- the knob real
+// county datasets ship as multiple generalization levels. Reports, per
+// tolerance: vertex reduction, Step-4 edge tests, measured time, and
+// the relative L1 error of the resulting histograms.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "data/county_synth.hpp"
+#include "data/dem_synth.hpp"
+#include "geom/simplify.hpp"
+
+int main() {
+  using namespace zh;
+  const int edge = bench::env_int("ZH_EDGE", 2400);
+  const int zones = bench::env_int("ZH_ZONES", 48);
+  const BinIndex bins =
+      static_cast<BinIndex>(bench::env_int("ZH_BINS", 500));
+
+  const GeoTransform t(-100.0, 40.0, 1.0 / 240.0, 1.0 / 240.0);
+  const DemRaster dem = generate_dem(edge, edge, t);
+  CountyParams cp;
+  cp.grid_x = 8;
+  cp.grid_y = zones / 8;
+  cp.displace_depth = 5;  // extra-detailed boundaries to generalize
+  const GeoBox ext = t.extent(edge, edge);
+  const PolygonSet counties = generate_counties(
+      GeoBox{ext.min_x - 0.1, ext.min_y - 0.1, ext.max_x + 0.1,
+             ext.max_y + 0.1},
+      cp);
+  std::printf("workload: %dx%d DEM, %zu zones with %s vertices\n", edge,
+              edge, counties.size(),
+              bench::with_commas(counties.vertex_count()).c_str());
+
+  Device device(DeviceProfile::host());
+  const ZonalPipeline pipe(device, {.tile_size = 60, .bins = bins});
+  const ZonalResult exact = pipe.run(dem, counties);
+  const double cell_size = t.cell_w();
+
+  bench::print_header("Simplification tolerance sweep");
+  std::printf("%12s %10s %14s %10s %12s\n", "eps (cells)", "vertices",
+              "edge tests", "step4 (s)", "L1 err (%)");
+  bench::print_rule();
+  std::printf("%12s %10s %14s %10.2f %12.3f\n", "exact",
+              bench::with_commas(counties.vertex_count()).c_str(),
+              bench::with_commas(exact.work.pip_edge_tests).c_str(),
+              exact.times.seconds[4], 0.0);
+
+  for (const double eps_cells : {0.5, 1.0, 2.0, 5.0, 15.0}) {
+    const PolygonSet simp =
+        simplify_set(counties, eps_cells * cell_size);
+    const ZonalResult r = pipe.run(dem, simp);
+    std::uint64_t err = 0;
+    for (PolygonId z = 0; z < counties.size(); ++z) {
+      err += histogram_l1_distance(exact.per_polygon.of(z),
+                                   r.per_polygon.of(z));
+    }
+    std::printf("%12.1f %10s %14s %10.2f %12.3f\n", eps_cells,
+                bench::with_commas(simp.vertex_count()).c_str(),
+                bench::with_commas(r.work.pip_edge_tests).c_str(),
+                r.times.seconds[4],
+                100.0 * static_cast<double>(err) /
+                    static_cast<double>(exact.per_polygon.total()));
+  }
+  std::printf(
+      "\nsub-cell tolerances cut vertices (and Step-4 edge tests) with\n"
+      "zero-to-negligible histogram error: the boundary moves less than\n"
+      "a cell, so almost no cell center changes sides.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Tile-size ablation (Sec. III.A design discussion): larger tiles shrink
+// the per-tile histogram table but put more cells into boundary tiles,
+// inflating Step-4 point-in-polygon work; smaller tiles do the reverse.
+// The paper picks 0.1 degree (360 cells) empirically -- this bench maps
+// the tradeoff curve.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "data/county_synth.hpp"
+#include "data/dem_synth.hpp"
+
+int main() {
+  using namespace zh;
+  const int edge = bench::env_int("ZH_EDGE", 2400);
+  const int zones = bench::env_int("ZH_ZONES", 64);
+  const BinIndex bins =
+      static_cast<BinIndex>(bench::env_int("ZH_BINS", 1000));
+
+  std::printf("workload: %dx%d DEM, %d space-filling zones, %u bins\n",
+              edge, edge, zones, bins);
+  const GeoTransform t(-100.0, 40.0, 1.0 / 240.0, 1.0 / 240.0);
+  const DemRaster dem = generate_dem(edge, edge, t);
+  CountyParams cp;
+  cp.grid_x = 8;
+  cp.grid_y = zones / 8;
+  const GeoBox ext = t.extent(edge, edge);
+  const PolygonSet counties = generate_counties(
+      GeoBox{ext.min_x - 0.1, ext.min_y - 0.1, ext.max_x + 0.1,
+             ext.max_y + 0.1},
+      cp);
+
+  Device device(DeviceProfile::host());
+
+  bench::print_header("Tile-size ablation (fixed raster and zones)");
+  std::printf("%6s %8s %9s %9s %10s %9s %9s %9s\n", "tile", "tiles",
+              "inside", "boundary", "bnd-cell%", "step1(s)", "step4(s)",
+              "total(s)");
+  bench::print_rule();
+
+  HistogramSet reference;
+  for (const std::int64_t tile : {30, 60, 120, 240, 480, 800}) {
+    const ZonalPipeline pipe(device, {.tile_size = tile, .bins = bins});
+    const ZonalResult r = pipe.run(dem, counties);
+    const double boundary_cell_pct =
+        100.0 * static_cast<double>(r.work.pip_cell_tests) /
+        static_cast<double>(r.work.cells_total);
+    std::printf("%6lld %8llu %9llu %9llu %9.1f%% %9.2f %9.2f %9.2f\n",
+                static_cast<long long>(tile),
+                static_cast<unsigned long long>(r.work.tiles_total),
+                static_cast<unsigned long long>(r.work.pairs_inside),
+                static_cast<unsigned long long>(r.work.pairs_intersect),
+                boundary_cell_pct, r.times.seconds[1], r.times.seconds[4],
+                r.times.step_total());
+    if (reference.empty()) {
+      reference = r.per_polygon;
+    } else if (!(reference == r.per_polygon)) {
+      std::printf("  ERROR: result differs from the first tile size!\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\nall tile sizes produce identical histograms (exactness holds);\n"
+      "boundary-cell share (Step-4 work) grows with tile size while the\n"
+      "per-tile histogram table shrinks -- the Sec. III.A tradeoff.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Micro-benchmarks of the Thrust-analog primitives that implement the
+// Fig. 4 post-processing (Step 2 -> Step 3 hand-off).
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "primitives/primitives.hpp"
+
+namespace {
+
+std::vector<std::uint32_t> random_keys(std::size_t n,
+                                       std::uint32_t distinct) {
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<std::uint32_t> dist(0, distinct - 1);
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+void BM_StableSortByKey(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto base_keys = random_keys(n, 1u << 16);
+  std::vector<std::uint32_t> base_vals(n);
+  std::iota(base_vals.begin(), base_vals.end(), 0u);
+  for (auto _ : state) {
+    auto keys = base_keys;
+    auto vals = base_vals;
+    zh::prim::stable_sort_by_key(keys, vals);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_StableSortByKey)->Range(1 << 10, 1 << 20);
+
+void BM_ReduceByKey(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto keys = random_keys(n, 256);
+  std::sort(keys.begin(), keys.end());  // reduce_by_key expects groups
+  const std::vector<std::uint32_t> vals(n, 1);
+  for (auto _ : state) {
+    auto [k, v] = zh::prim::reduce_by_key<std::uint32_t, std::uint32_t>(
+        keys, vals);
+    benchmark::DoNotOptimize(k.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_ReduceByKey)->Range(1 << 10, 1 << 20);
+
+void BM_ExclusiveScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint32_t> in(n, 3);
+  std::vector<std::uint32_t> out(n);
+  for (auto _ : state) {
+    zh::prim::exclusive_scan<std::uint32_t>(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_ExclusiveScan)->Range(1 << 10, 1 << 22);
+
+void BM_Reduce(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::uint64_t> in(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zh::prim::reduce<std::uint64_t>(in));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_Reduce)->Range(1 << 10, 1 << 22);
+
+void BM_CopyIf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto in = random_keys(n, 1000);
+  for (auto _ : state) {
+    auto out = zh::prim::copy_if<std::uint32_t>(
+        in, [](std::uint32_t v) { return v % 3 == 0; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_CopyIf)->Range(1 << 10, 1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Region-quadtree study (paper ref [11] substrate): construction
+// throughput, collapse behaviour vs raster entropy, and the
+// quadtree-backed Step-1 speedup on land-cover-class rasters -- the
+// "thematic resolution" raster family of the paper's introduction.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "core/step1_tile_hist.hpp"
+#include "data/dem_synth.hpp"
+#include "quadtree/qt_step1.hpp"
+
+int main() {
+  using namespace zh;
+  const int edge = bench::env_int("ZH_EDGE", 2048);
+  const std::int64_t tile = bench::env_int("ZH_TILE", 64);
+  const GeoTransform t(-100.0, 40.0, 0.01, 0.01);
+
+  bench::print_header("Quadtree collapse vs raster entropy");
+  std::printf("%-22s %12s %12s %8s %10s\n", "raster", "cells", "leaves",
+              "ratio", "build(s)");
+  bench::print_rule();
+
+  struct Case {
+    const char* name;
+    DemRaster raster;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"land cover, 8 cls",
+                   generate_landcover(edge, edge, t, 8)});
+  cases.push_back({"land cover, 64 cls",
+                   generate_landcover(edge, edge, t, 64)});
+  cases.push_back({"DEM, 5000 levels", generate_dem(edge, edge, t)});
+  {
+    DemRaster noise(edge, edge, t);
+    std::uint32_t state = 7;
+    for (CellValue& v : noise.cells()) {
+      state = state * 1664525u + 1013904223u;
+      v = static_cast<CellValue>((state >> 16) % 5000);
+    }
+    cases.push_back({"white noise", std::move(noise)});
+  }
+
+  Device device(DeviceProfile::host());
+  const TilingScheme tiling(edge, edge, tile);
+
+  for (const Case& c : cases) {
+    Timer tb;
+    const RegionQuadtree tree = RegionQuadtree::build(c.raster);
+    const double build_s = tb.seconds();
+    std::printf("%-22s %12s %12s %7.1fx %10.2f\n", c.name,
+                bench::with_commas(static_cast<unsigned long long>(
+                    c.raster.cell_count())).c_str(),
+                bench::with_commas(tree.leaf_count()).c_str(),
+                static_cast<double>(c.raster.cell_count()) /
+                    static_cast<double>(tree.leaf_count()),
+                build_s);
+  }
+
+  bench::print_header(
+      "Step 1: dense kernel vs quadtree-backed (identical output)");
+  std::printf("%-22s %12s %12s %10s %8s\n", "raster", "dense(s)",
+              "quadtree(s)", "speedup", "equal");
+  bench::print_rule();
+  for (const Case& c : cases) {
+    const RegionQuadtree tree = RegionQuadtree::build(c.raster);
+    Timer td;
+    const HistogramSet dense =
+        tile_histograms(device, c.raster, tiling, 5000);
+    const double dense_s = td.seconds();
+    Timer tq;
+    const HistogramSet from_tree =
+        tile_histograms_from_quadtree(device, tree, tiling, 5000);
+    const double tree_s = tq.seconds();
+    std::printf("%-22s %12.3f %12.3f %9.1fx %8s\n", c.name, dense_s,
+                tree_s, dense_s / tree_s,
+                dense == from_tree ? "yes" : "NO");
+  }
+  std::printf(
+      "\nthe quadtree path wins in proportion to the leaf-collapse "
+      "ratio;\nwhite noise (no collapse) degenerates to per-cell work "
+      "plus tree\noverhead -- choose per input family.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Table 1 reproduction: the SRTM CONUS raster inventory and its cluster
+// partition schema.
+//
+// Prints the six rasters, their (reconstructed) dimensions at full scale
+// and at the bench scale, the partition grid per raster, and verifies the
+// published totals: 6 rasters, 36 partitions, 20,165,760,000 cells.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cluster/partition.hpp"
+#include "common/error.hpp"
+#include "data/conus.hpp"
+
+int main() {
+  using namespace zh;
+  const int scale = bench::env_int("ZH_SCALE", 30);
+
+  bench::print_header(
+      "Table 1 -- List of SRTM Rasters and Partition Schemas");
+  std::printf("%-14s %13s %13s %10s %12s\n", "raster", "rows (S=1)",
+              "cols (S=1)", "partition", "cells (S=1)");
+  bench::print_rule();
+
+  std::int64_t total_cells = 0;
+  int total_parts = 0;
+  for (const conus::RasterSpec& spec : conus::table1()) {
+    std::printf("%-14s %13lld %13lld %7dx%-2d %12s\n", spec.name.c_str(),
+                static_cast<long long>(spec.rows_at(1)),
+                static_cast<long long>(spec.cols_at(1)), spec.part_rows,
+                spec.part_cols,
+                bench::with_commas(
+                    static_cast<unsigned long long>(spec.cells_at(1)))
+                    .c_str());
+    total_cells += spec.cells_at(1);
+    total_parts += spec.partitions();
+  }
+  bench::print_rule();
+  std::printf("%-14s %38d %12s\n", "Total", total_parts,
+              bench::with_commas(
+                  static_cast<unsigned long long>(total_cells))
+                  .c_str());
+
+  std::printf("\npaper totals:  6 rasters, 36 partitions, "
+              "20,165,760,000 cells\n");
+  std::printf("reproduced:    %zu rasters, %d partitions, %s cells  [%s]\n",
+              conus::table1().size(), total_parts,
+              bench::with_commas(
+                  static_cast<unsigned long long>(total_cells))
+                  .c_str(),
+              (conus::table1().size() == 6 && total_parts == 36 &&
+               total_cells == 20'165'760'000LL)
+                  ? "MATCH"
+                  : "MISMATCH");
+
+  // Partition-construction check at the bench scale: windows must be
+  // tile-aligned, disjoint and covering for every schema.
+  const std::int64_t tile = conus::tile_size_cells(scale);
+  bench::print_header("Partition construction at bench scale (S=" +
+                      std::to_string(scale) + ", tile=" +
+                      std::to_string(tile) + " cells)");
+  std::printf("%-14s %10s %10s %10s %14s\n", "raster", "rows", "cols",
+              "windows", "cells covered");
+  bench::print_rule();
+  for (const conus::RasterSpec& spec : conus::table1()) {
+    const auto windows =
+        grid_partition(spec.rows_at(scale), spec.cols_at(scale),
+                       spec.part_rows, spec.part_cols, tile);
+    std::int64_t covered = 0;
+    for (const CellWindow& w : windows) {
+      ZH_REQUIRE(w.row0 % tile == 0 && w.col0 % tile == 0,
+                 "partition not tile-aligned");
+      covered += w.cell_count();
+    }
+    ZH_REQUIRE(covered == spec.cells_at(scale),
+               "partition does not cover the raster");
+    std::printf("%-14s %10lld %10lld %10zu %14s\n", spec.name.c_str(),
+                static_cast<long long>(spec.rows_at(scale)),
+                static_cast<long long>(spec.cols_at(scale)),
+                windows.size(),
+                bench::with_commas(
+                    static_cast<unsigned long long>(covered))
+                    .c_str());
+  }
+  std::printf("\nall partitions tile-aligned, disjoint and covering.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared helpers for the benchmark harness: CONUS workload construction
+// at a configurable scale and table-style output formatting.
+//
+// Every bench runs with sensible defaults under
+//   for b in build/bench/*; do $b; done
+// and honors environment overrides:
+//   ZH_SCALE  -- scale divisor S (cells/degree = 3600/S); default per bench
+//   ZH_ZONES  -- zone (county) count; default per bench
+//   ZH_BINS   -- histogram bins; default per bench
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/conus.hpp"
+#include "geom/polygon.hpp"
+#include "grid/raster.hpp"
+
+namespace zh::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+struct ConusWorkload {
+  int scale = 30;
+  std::vector<DemRaster> rasters;          // the six Table-1 rasters
+  std::vector<std::pair<int, int>> schemas;  // Table-1 partition grids
+  PolygonSet counties;
+};
+
+/// Build the six Table-1 rasters at scale S plus a county layer.
+inline ConusWorkload build_conus(int scale, int zones,
+                                 std::uint64_t seed = 7) {
+  ConusWorkload w;
+  w.scale = scale;
+  for (const conus::RasterSpec& spec : conus::table1()) {
+    w.rasters.push_back(conus::generate_raster(spec, scale));
+    w.schemas.emplace_back(spec.part_rows, spec.part_cols);
+  }
+  w.counties = conus::generate_county_layer(zones, seed);
+  return w;
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n");
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+/// "12,345,678" formatting for large counts.
+inline std::string with_commas(unsigned long long v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int c = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (c != 0 && c % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++c;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace zh::bench

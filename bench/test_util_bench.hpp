@@ -1,0 +1,43 @@
+// Random polygon helpers for micro-benchmarks (mirrors tests/test_util.hpp
+// without depending on the test tree).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "geom/polygon.hpp"
+
+namespace zh::benchdata {
+
+inline Ring star_ring(std::mt19937& rng, double cx, double cy,
+                      double r_min, double r_max, int vertices) {
+  std::uniform_real_distribution<double> radius(r_min, r_max);
+  std::uniform_real_distribution<double> angle(0.0, 2.0 * std::numbers::pi);
+  std::vector<double> angles(static_cast<std::size_t>(vertices));
+  for (double& a : angles) a = angle(rng);
+  std::sort(angles.begin(), angles.end());
+  Ring ring;
+  ring.reserve(angles.size());
+  for (const double a : angles) {
+    const double r = radius(rng);
+    ring.push_back({cx + r * std::cos(a), cy + r * std::sin(a)});
+  }
+  return ring;
+}
+
+inline Polygon star_polygon(std::mt19937& rng, double cx, double cy,
+                            double r_max, int vertices,
+                            bool with_hole = false) {
+  Polygon poly({star_ring(rng, cx, cy, 0.5 * r_max, r_max, vertices)});
+  if (with_hole) {
+    Ring hole = star_ring(rng, cx, cy, 0.1 * r_max, 0.3 * r_max,
+                          std::max(3, vertices / 2));
+    std::reverse(hole.begin(), hole.end());
+    poly.add_ring(std::move(hole));
+  }
+  return poly;
+}
+
+}  // namespace zh::benchdata

@@ -1,0 +1,77 @@
+// Zonal summation of point events: the species-occurrence use case of
+// the paper's companion study (ref [20]). Counts occurrence points and
+// sums abundance weights per ecoregion-style zone, using the zonal tile
+// grid as the spatial index -- most points aggregate bucket-wise without
+// a single point-in-polygon test.
+#include <cstdio>
+
+#include "zh.hpp"
+
+int main() {
+  using namespace zh;
+
+  // A 12x8-degree study area gridded at ~1 km; the tile grid doubles as
+  // the point index.
+  const GeoTransform transform(-96.0, 44.0, 0.01, 0.01);
+  const TilingScheme tiling(800, 1200, 25);
+  const GeoBox extent = transform.extent(800, 1200);
+
+  // 500k clustered occurrence points with abundance weights.
+  PointParams pp;
+  pp.count = 500'000;
+  pp.clusters = 9;
+  pp.cluster_sigma = 0.04;
+  const PointSet occurrences = generate_points(extent, pp);
+
+  // 30 ecoregion-style zones tessellating the study area.
+  CountyParams cp;
+  cp.grid_x = 6;
+  cp.grid_y = 5;
+  const PolygonSet ecoregions = generate_counties(
+      GeoBox{extent.min_x - 0.2, extent.min_y - 0.2, extent.max_x + 0.2,
+             extent.max_y + 0.2},
+      cp);
+
+  Device device;
+  PointZonalCounters counters;
+  Timer timer;
+  const auto rows = zonal_point_summation(device, occurrences, ecoregions,
+                                          tiling, transform, &counters);
+  const double seconds = timer.seconds();
+
+  std::printf("%zu occurrences -> %zu zones in %.3f s\n",
+              occurrences.size(), ecoregions.size(), seconds);
+  std::printf("grid filter: %llu points bucket-aggregated, %llu PIP "
+              "tests\n\n",
+              static_cast<unsigned long long>(
+                  counters.points_in_inside_tiles),
+              static_cast<unsigned long long>(counters.pip_point_tests));
+
+  std::printf("%-8s %10s %14s %12s\n", "zone", "count", "abundance",
+              "mean weight");
+  std::uint64_t total = 0;
+  for (PolygonId z = 0; z < ecoregions.size(); ++z) {
+    total += rows[z].count;
+    if (rows[z].count == 0) continue;
+    std::printf("%-8s %10llu %14.1f %12.2f\n",
+                ecoregions.name(z).c_str(),
+                static_cast<unsigned long long>(rows[z].count),
+                rows[z].weight_sum,
+                rows[z].weight_sum / static_cast<double>(rows[z].count));
+  }
+  std::printf("\ntotal attributed: %llu of %zu (points in no zone fall "
+              "outside the tessellation edge)\n",
+              static_cast<unsigned long long>(total), occurrences.size());
+
+  // Cross-check against the PIP-everything reference.
+  const auto reference =
+      zonal_point_summation_reference(occurrences, ecoregions);
+  for (PolygonId z = 0; z < ecoregions.size(); ++z) {
+    if (rows[z].count != reference[z].count) {
+      std::printf("MISMATCH in zone %u\n", z);
+      return 1;
+    }
+  }
+  std::printf("verified against reference: identical counts.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Packed bit streams for the BQ-Tree codec.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace zh {
+
+/// Append-only MSB-first bit writer.
+class BitWriter {
+ public:
+  void put(bool bit) {
+    if (used_ == 0) bytes_.push_back(0);
+    if (bit) bytes_.back() |= static_cast<std::uint8_t>(0x80u >> used_);
+    used_ = (used_ + 1) & 7;
+  }
+
+  /// Append the low `count` bits of `v`, most-significant first.
+  void put_bits(std::uint32_t v, unsigned count) {
+    ZH_REQUIRE(count <= 32, "too many bits");
+    for (unsigned i = count; i-- > 0;) {
+      put(((v >> i) & 1u) != 0);
+    }
+  }
+
+  [[nodiscard]] std::size_t bit_count() const {
+    return bytes_.size() * 8 - ((8 - used_) & 7);
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() {
+    used_ = 0;
+    return std::move(bytes_);
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  unsigned used_ = 0;  // bits used in the last byte (0 == byte full/none)
+};
+
+/// MSB-first bit reader over a byte span.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  bool get() {
+    ZH_REQUIRE(pos_ < bytes_.size() * 8, "bit stream exhausted");
+    const bool bit =
+        (bytes_[pos_ >> 3] & (0x80u >> (pos_ & 7))) != 0;
+    ++pos_;
+    return bit;
+  }
+
+  std::uint32_t get_bits(unsigned count) {
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < count; ++i) v = (v << 1) | (get() ? 1u : 0u);
+    return v;
+  }
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace zh

@@ -1,0 +1,130 @@
+#include "cluster/comm.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace zh {
+
+namespace {
+
+struct Message {
+  RankId src;
+  int tag;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace
+
+/// Shared state of one run_cluster invocation.
+class Cluster {
+ public:
+  explicit Cluster(std::size_t ranks)
+      : ranks_(ranks), mailboxes_(ranks), barrier_waiting_(0),
+        barrier_generation_(0) {}
+
+  [[nodiscard]] std::size_t size() const { return ranks_; }
+
+  void deliver(RankId dst, Message msg) {
+    ZH_REQUIRE(dst < ranks_, "destination rank out of range");
+    Mailbox& box = mailboxes_[dst];
+    {
+      std::lock_guard lock(box.mutex);
+      box.queue.push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+  }
+
+  [[nodiscard]] std::vector<std::byte> await(RankId dst, RankId src,
+                                             int tag) {
+    Mailbox& box = mailboxes_[dst];
+    std::unique_lock lock(box.mutex);
+    for (;;) {
+      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+        if (it->src == src && it->tag == tag) {
+          std::vector<std::byte> payload = std::move(it->payload);
+          box.queue.erase(it);
+          return payload;
+        }
+      }
+      box.cv.wait(lock);
+    }
+  }
+
+  /// Factory for rank handles (Cluster is a friend of Communicator;
+  /// the run_cluster lambda is not).
+  [[nodiscard]] Communicator make_comm(RankId rank) {
+    return Communicator(this, rank);
+  }
+
+  void barrier() {
+    std::unique_lock lock(barrier_mutex_);
+    const std::uint64_t gen = barrier_generation_;
+    if (++barrier_waiting_ == ranks_) {
+      barrier_waiting_ = 0;
+      ++barrier_generation_;
+      barrier_cv_.notify_all();
+    } else {
+      barrier_cv_.wait(lock,
+                       [&] { return barrier_generation_ != gen; });
+    }
+  }
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  std::size_t ranks_;
+  std::vector<Mailbox> mailboxes_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  std::size_t barrier_waiting_;
+  std::uint64_t barrier_generation_;
+};
+
+std::size_t Communicator::size() const { return cluster_->size(); }
+
+void Communicator::send_bytes(RankId dst, int tag,
+                              std::vector<std::byte> payload) {
+  bytes_sent_ += payload.size();
+  cluster_->deliver(dst, Message{rank_, tag, std::move(payload)});
+}
+
+std::vector<std::byte> Communicator::recv_bytes(RankId src, int tag) {
+  return cluster_->await(rank_, src, tag);
+}
+
+void Communicator::barrier() { cluster_->barrier(); }
+
+void run_cluster(std::size_t ranks,
+                 const std::function<void(Communicator&)>& body) {
+  ZH_REQUIRE(ranks >= 1, "cluster needs at least one rank");
+  Cluster cluster(ranks);
+
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  // Dedicated threads (not pool tasks): ranks block on recv/barrier and
+  // must not starve each other. CP.25's joining-thread discipline via
+  // explicit join below.
+  std::vector<std::thread> threads;
+  threads.reserve(ranks);
+  for (RankId r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm = cluster.make_comm(r);
+      try {
+        body(comm);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace zh

@@ -1,0 +1,123 @@
+// In-process MPI-like communicator.
+//
+// The paper's cluster runs use MPI across Titan nodes: each node executes
+// the four zonal steps on its raster partitions, then the master combines
+// per-polygon histograms. This module reproduces that programming model
+// in one process: run_cluster() launches one thread per rank; ranks talk
+// through mailboxes with (source, tag) matching; gather/reduce/barrier
+// are built on the same point-to-point layer, so the communication
+// pattern (and its serialization volume, which we account) matches the
+// MPI implementation structurally.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace zh {
+
+class Cluster;
+
+/// Per-rank handle used inside run_cluster bodies.
+class Communicator {
+ public:
+  [[nodiscard]] RankId rank() const { return rank_; }
+  [[nodiscard]] std::size_t size() const;
+
+  /// Point-to-point send of raw bytes with a user tag (non-blocking:
+  /// enqueues into the destination mailbox).
+  void send_bytes(RankId dst, int tag, std::vector<std::byte> payload);
+
+  /// Blocking receive of the next message from `src` with `tag`.
+  [[nodiscard]] std::vector<std::byte> recv_bytes(RankId src, int tag);
+
+  /// Typed send/recv of trivially copyable element spans.
+  template <typename T>
+  void send(RankId dst, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(data.size_bytes());
+    std::memcpy(bytes.data(), data.data(), data.size_bytes());
+    send_bytes(dst, tag, std::move(bytes));
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> recv(RankId src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::byte> bytes = recv_bytes(src, tag);
+    ZH_REQUIRE(bytes.size() % sizeof(T) == 0,
+               "message size not a multiple of element size");
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  /// Gather every rank's buffer at `root` (rank order). Non-roots get an
+  /// empty result.
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> gather(
+      RankId root, std::span<const T> mine, int tag = kGatherTag) {
+    if (rank_ != root) {
+      send<T>(root, tag, mine);
+      return {};
+    }
+    std::vector<std::vector<T>> all(size());
+    for (RankId r = 0; r < size(); ++r) {
+      if (r == root) {
+        all[r].assign(mine.begin(), mine.end());
+      } else {
+        all[r] = recv<T>(r, tag);
+      }
+    }
+    return all;
+  }
+
+  /// Element-wise sum-reduce of equal-length buffers at `root` (the
+  /// master-side histogram combine). Non-roots get an empty vector.
+  template <typename T>
+  [[nodiscard]] std::vector<T> reduce_sum(RankId root,
+                                          std::span<const T> mine,
+                                          int tag = kReduceTag) {
+    auto all = gather<T>(root, mine, tag);
+    if (rank_ != root) return {};
+    std::vector<T> acc(mine.size(), T{});
+    for (const auto& buf : all) {
+      ZH_REQUIRE(buf.size() == acc.size(), "reduce length mismatch");
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += buf[i];
+    }
+    return acc;
+  }
+
+  /// Synchronize all ranks.
+  void barrier();
+
+  /// Bytes this rank has sent so far (communication-volume accounting).
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  static constexpr int kGatherTag = -1;
+  static constexpr int kReduceTag = -2;
+
+ private:
+  friend class Cluster;
+  Communicator(Cluster* cluster, RankId rank)
+      : cluster_(cluster), rank_(rank) {}
+
+  Cluster* cluster_;
+  RankId rank_;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// Launch `ranks` threads, each running body(comm). Returns when all
+/// ranks finish; rethrows the first rank exception.
+void run_cluster(std::size_t ranks,
+                 const std::function<void(Communicator&)>& body);
+
+}  // namespace zh

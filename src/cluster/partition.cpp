@@ -1,0 +1,67 @@
+#include "cluster/partition.hpp"
+
+#include "common/error.hpp"
+
+namespace zh {
+
+std::vector<CellWindow> grid_partition(std::int64_t rows, std::int64_t cols,
+                                       int part_rows, int part_cols,
+                                       std::int64_t tile_size) {
+  ZH_REQUIRE(part_rows >= 1 && part_cols >= 1, "partition grid too small");
+  ZH_REQUIRE(tile_size >= 1, "tile size must be positive");
+  ZH_REQUIRE(rows >= 0 && cols >= 0, "raster dims must be non-negative");
+
+  // Split in tile units, distributing the remainder over leading blocks,
+  // then convert back to cells. Every edge lands on a tile multiple.
+  const std::int64_t tiles_y = static_cast<std::int64_t>(
+      div_up(static_cast<std::size_t>(rows),
+             static_cast<std::size_t>(tile_size)));
+  const std::int64_t tiles_x = static_cast<std::int64_t>(
+      div_up(static_cast<std::size_t>(cols),
+             static_cast<std::size_t>(tile_size)));
+  ZH_REQUIRE(tiles_y >= part_rows && tiles_x >= part_cols,
+             "fewer tiles than partitions: ", tiles_y, "x", tiles_x,
+             " tiles vs ", part_rows, "x", part_cols, " blocks");
+
+  auto cuts = [](std::int64_t tiles, int parts) {
+    std::vector<std::int64_t> edges(static_cast<std::size_t>(parts) + 1);
+    const std::int64_t base = tiles / parts;
+    const std::int64_t extra = tiles % parts;
+    edges[0] = 0;
+    for (int i = 0; i < parts; ++i) {
+      edges[static_cast<std::size_t>(i) + 1] =
+          edges[static_cast<std::size_t>(i)] + base + (i < extra ? 1 : 0);
+    }
+    return edges;
+  };
+  const auto ey = cuts(tiles_y, part_rows);
+  const auto ex = cuts(tiles_x, part_cols);
+
+  std::vector<CellWindow> out;
+  out.reserve(static_cast<std::size_t>(part_rows) * part_cols);
+  for (int br = 0; br < part_rows; ++br) {
+    for (int bc = 0; bc < part_cols; ++bc) {
+      CellWindow w;
+      w.row0 = ey[static_cast<std::size_t>(br)] * tile_size;
+      w.col0 = ex[static_cast<std::size_t>(bc)] * tile_size;
+      const std::int64_t row_end =
+          std::min(rows, ey[static_cast<std::size_t>(br) + 1] * tile_size);
+      const std::int64_t col_end =
+          std::min(cols, ex[static_cast<std::size_t>(bc) + 1] * tile_size);
+      w.rows = row_end - w.row0;
+      w.cols = col_end - w.col0;
+      out.push_back(w);
+    }
+  }
+  return out;
+}
+
+void assign_round_robin(std::vector<RasterPartition>& parts,
+                        std::size_t ranks) {
+  ZH_REQUIRE(ranks >= 1, "need at least one rank");
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    parts[i].owner = static_cast<RankId>(i % ranks);
+  }
+}
+
+}  // namespace zh

@@ -1,0 +1,38 @@
+// Raster partitioning for cluster runs.
+//
+// Table 1 of the paper assigns each CONUS raster a partition schema (an
+// r x c block grid); the resulting 36 partitions are distributed over the
+// Titan nodes. Partition edges are aligned to zonal-tile boundaries so a
+// tile never straddles two partitions -- each partition then runs the
+// whole 4-step pipeline independently and per-polygon histograms merge
+// additively at the master.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "grid/raster.hpp"
+
+namespace zh {
+
+/// One partition: a cell window of one source raster, with an owner rank.
+struct RasterPartition {
+  std::uint32_t raster_index = 0;  ///< index into the dataset's raster list
+  CellWindow window;               ///< cell window within that raster
+  RankId owner = 0;
+};
+
+/// Split a rows x cols raster into a part_rows x part_cols block grid with
+/// block edges aligned to multiples of `tile_size`. Returns the windows in
+/// row-major block order; they are disjoint and cover the raster.
+[[nodiscard]] std::vector<CellWindow> grid_partition(
+    std::int64_t rows, std::int64_t cols, int part_rows, int part_cols,
+    std::int64_t tile_size);
+
+/// Round-robin assignment of partitions to `ranks` ranks (the paper's
+/// node counts: 1..16). Mutates `parts`' owner fields.
+void assign_round_robin(std::vector<RasterPartition>& parts,
+                        std::size_t ranks);
+
+}  // namespace zh

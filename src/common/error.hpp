@@ -1,0 +1,61 @@
+// Error handling: exceptions carrying formatted context, plus precondition
+// macros. Following the C++ Core Guidelines (E.2/E.3) we throw to signal
+// errors that cannot be handled locally and reserve assertions/checks for
+// programming errors.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace zh {
+
+/// Base class for all zonalhist errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or unreadable input data (files, streams, encodings).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// A caller violated an API precondition (bad sizes, out-of-range ids, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+template <typename... Args>
+std::string format_parts(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace zh
+
+/// Throw InvalidArgument if `cond` is false. The message is only formatted
+/// on failure, so checks stay cheap on the hot path.
+#define ZH_REQUIRE(cond, ...)                                       \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      throw ::zh::InvalidArgument(::zh::detail::format_parts(       \
+          __FILE__, ":", __LINE__, ": requirement failed: ", #cond, \
+          " -- ", __VA_ARGS__));                                    \
+    }                                                               \
+  } while (false)
+
+/// Throw IoError if `cond` is false.
+#define ZH_REQUIRE_IO(cond, ...)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      throw ::zh::IoError(::zh::detail::format_parts(                 \
+          __FILE__, ":", __LINE__, ": I/O failure: ", __VA_ARGS__));  \
+    }                                                                 \
+  } while (false)

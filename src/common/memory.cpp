@@ -1,0 +1,30 @@
+#include "common/memory.hpp"
+
+#include <cstdint>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace zh {
+
+void hint_huge_pages(void* p, std::size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  if (p == nullptr || bytes == 0) return;
+  // madvise needs page-aligned addresses; shrink the range inward.
+  const auto page = static_cast<std::uintptr_t>(::sysconf(_SC_PAGESIZE));
+  auto begin = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t end = begin + bytes;
+  begin = (begin + page - 1) & ~(page - 1);
+  if (end <= begin) return;
+  // Best effort: failures (old kernels, disabled THP) are harmless.
+  (void)::madvise(reinterpret_cast<void*>(begin), end - begin,
+                  MADV_HUGEPAGE);
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+}  // namespace zh

@@ -1,0 +1,18 @@
+#include "common/timer.hpp"
+
+#include <array>
+
+namespace zh {
+
+std::string StepTimes::step_name(std::size_t i) {
+  static const std::array<const char*, StepTimes::kSteps> kNames = {
+      "(Step 0): Raster decompression",
+      "Step 1: Per-tile histogramming",
+      "Step 2: Tile-in-polygon test",
+      "Step 3: Within-tile histogram aggregation",
+      "Step 4: Cell-in-polygon test and histogram update",
+  };
+  return i < kNames.size() ? kNames[i] : "unknown step";
+}
+
+}  // namespace zh

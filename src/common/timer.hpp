@@ -1,0 +1,74 @@
+// Wall-clock timing for per-step runtime reporting (Table 2 of the paper
+// breaks the end-to-end runtime into Steps 0-4; StepTimes mirrors that).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace zh {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Per-step wall times of one zonal-histogramming run, in seconds.
+/// Indices match the paper's step numbering:
+///   0 raster decompression, 1 per-tile histogramming, 2 tile-polygon
+///   pairing, 3 inside-tile aggregation, 4 cell-in-polygon refinement.
+struct StepTimes {
+  static constexpr std::size_t kSteps = 5;
+  std::array<double, kSteps> seconds{};  // zero-initialized
+
+  /// Extra time not attributed to a step (transfers, output, merge).
+  double overhead = 0.0;
+
+  /// Sum of the five step times (the "Runtimes of steps" row of Table 2).
+  [[nodiscard]] double step_total() const {
+    double t = 0.0;
+    for (double s : seconds) t += s;
+    return t;
+  }
+
+  /// Wall-clock end-to-end runtime (steps + overhead).
+  [[nodiscard]] double end_to_end() const { return step_total() + overhead; }
+
+  StepTimes& operator+=(const StepTimes& o) {
+    for (std::size_t i = 0; i < kSteps; ++i) seconds[i] += o.seconds[i];
+    overhead += o.overhead;
+    return *this;
+  }
+
+  /// Element-wise max; used to reduce per-rank times to the cluster
+  /// wall-clock time ("we report the longest runtime among all the nodes").
+  [[nodiscard]] StepTimes max_with(const StepTimes& o) const {
+    StepTimes r = *this;
+    for (std::size_t i = 0; i < kSteps; ++i)
+      if (o.seconds[i] > r.seconds[i]) r.seconds[i] = o.seconds[i];
+    if (o.overhead > r.overhead) r.overhead = o.overhead;
+    return r;
+  }
+
+  /// Human-readable name for step `i` (0-4), matching Table 2 row labels.
+  static std::string step_name(std::size_t i);
+};
+
+}  // namespace zh

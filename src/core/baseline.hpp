@@ -1,0 +1,39 @@
+// Baseline zonal-histogramming implementations.
+//
+// Three comparators against the 4-step pipeline:
+//  * zonal_naive       -- for every cell, PIP-test against every polygon.
+//                         The textbook O(cells x polygons x vertices)
+//                         approach; only usable on small inputs, included
+//                         as the ground-truth oracle for property tests.
+//  * zonal_mbb_filter  -- per polygon, PIP-test only the cells inside its
+//                         MBB window: the classic spatial-filter +
+//                         refinement spatial join (Sec. II of the paper).
+//  * zonal_scanline    -- per polygon, scanline polygon fill: compute the
+//                         boundary crossings of each cell-center row and
+//                         histogram the interior spans. This is how
+//                         traditional GIS rasterization-based zonal tools
+//                         (e.g. GDAL) work, i.e. the serial software the
+//                         paper reports orders-of-magnitude wins over.
+// All three use identical cell-center-in-polygon semantics, so their
+// outputs are bit-identical to the pipeline's (tested property).
+#pragma once
+
+#include "core/histogram.hpp"
+#include "geom/polygon.hpp"
+#include "grid/raster.hpp"
+
+namespace zh {
+
+[[nodiscard]] HistogramSet zonal_naive(const DemRaster& raster,
+                                       const PolygonSet& polygons,
+                                       BinIndex bins);
+
+[[nodiscard]] HistogramSet zonal_mbb_filter(const DemRaster& raster,
+                                            const PolygonSet& polygons,
+                                            BinIndex bins);
+
+[[nodiscard]] HistogramSet zonal_scanline(const DemRaster& raster,
+                                          const PolygonSet& polygons,
+                                          BinIndex bins);
+
+}  // namespace zh

@@ -1,0 +1,109 @@
+#include "core/cluster_driver.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "core/load_balance.hpp"
+
+namespace zh {
+
+ClusterRunResult run_cluster_zonal(
+    const std::vector<DemRaster>& rasters,
+    const std::vector<std::pair<int, int>>& schemas,
+    const PolygonSet& polygons, const ClusterRunConfig& config) {
+  ZH_REQUIRE(rasters.size() == schemas.size(),
+             "one partition schema per raster required");
+  ZH_REQUIRE(config.ranks >= 1, "need at least one rank");
+
+  // Build the global partition list (tile-aligned) and assign owners.
+  std::vector<RasterPartition> parts;
+  for (std::size_t i = 0; i < rasters.size(); ++i) {
+    const auto windows = grid_partition(
+        rasters[i].rows(), rasters[i].cols(), schemas[i].first,
+        schemas[i].second, config.zonal.tile_size);
+    for (const CellWindow& w : windows) {
+      parts.push_back(
+          RasterPartition{static_cast<std::uint32_t>(i), w, 0});
+    }
+  }
+  if (config.assignment == PartitionAssignment::kCostBalanced) {
+    std::vector<GeoTransform> transforms;
+    transforms.reserve(rasters.size());
+    for (const DemRaster& r : rasters) transforms.push_back(r.transform());
+    const std::vector<double> costs = estimate_partition_costs(
+        parts, transforms, config.zonal.tile_size, polygons);
+    assign_least_loaded(parts, config.ranks, costs);
+  } else {
+    assign_round_robin(parts, config.ranks);
+  }
+
+  const PolygonSoA soa = PolygonSoA::build(polygons);
+
+  ClusterRunResult result;
+  result.per_rank.assign(config.ranks, StepTimes{});
+  result.per_rank_work.assign(config.ranks, WorkCounters{});
+  result.rank_seconds.assign(config.ranks, 0.0);
+  std::mutex result_mutex;
+  std::atomic<std::uint64_t> comm_bytes{0};
+  constexpr RankId kRoot = 0;
+
+  run_cluster(config.ranks, [&](Communicator& comm) {
+    const RankId me = comm.rank();
+    Timer wall;
+
+    // Each rank gets its own virtual device (one accelerator per node,
+    // as on Titan).
+    Device device(config.device_profile);
+    ZonalPipeline pipeline(device, config.zonal);
+
+    HistogramSet local(polygons.size(), config.zonal.bins);
+    StepTimes times;
+    WorkCounters work;
+    ZonalWorkspace workspace;  // per-tile table reused across partitions
+
+    for (const RasterPartition& part : parts) {
+      if (part.owner != me) continue;
+      const DemRaster& src = rasters[part.raster_index];
+      const DemRaster window = src.copy_window(part.window);
+      ZonalResult r;
+      if (config.compress) {
+        const BqCompressedRaster compressed =
+            BqCompressedRaster::encode(window, config.zonal.tile_size);
+        r = pipeline.run(compressed, polygons, &workspace);
+      } else {
+        r = pipeline.run(window, polygons, soa, &workspace);
+      }
+      local.add(r.per_polygon);
+      times += r.times;
+      work += r.work;
+    }
+
+    // Master-side merge: element-wise sum of per-polygon histograms
+    // ("the master node was used to combine per-polygon histograms").
+    const std::vector<BinCount> merged =
+        comm.reduce_sum<BinCount>(kRoot, local.flat());
+    const double rank_wall = wall.seconds();
+
+    {
+      std::lock_guard lock(result_mutex);
+      result.per_rank[me] = times;
+      result.per_rank_work[me] = work;
+      result.rank_seconds[me] = rank_wall;
+      result.work += work;
+      if (me == kRoot) {
+        result.merged = HistogramSet(polygons.size(), config.zonal.bins);
+        std::copy(merged.begin(), merged.end(),
+                  result.merged.flat().begin());
+      }
+    }
+    comm_bytes.fetch_add(comm.bytes_sent(), std::memory_order_relaxed);
+  });
+
+  result.comm_bytes = comm_bytes.load();
+  for (const double s : result.rank_seconds) {
+    result.wall_seconds = std::max(result.wall_seconds, s);
+  }
+  return result;
+}
+
+}  // namespace zh

@@ -1,0 +1,57 @@
+// Multi-node zonal histogramming (Sec. IV.C: Titan cluster runs).
+//
+// Partitions a multi-raster dataset per its Table-1 partition schemas,
+// assigns partitions to ranks round-robin, runs the full pipeline per
+// partition on each rank, and sum-reduces per-polygon histograms at the
+// master rank (polygons can span partitions, so the merge is additive).
+// The reported wall time is the maximum across ranks including the MPI
+// communication -- the paper's measurement convention.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/comm.hpp"
+#include "cluster/partition.hpp"
+#include "core/pipeline.hpp"
+#include "device/device.hpp"
+
+namespace zh {
+
+/// How partitions map to ranks. kRoundRobin is the paper's setup (whose
+/// edge-tile imbalance it reports); kCostBalanced is the future-work
+/// improvement (core/load_balance.hpp).
+enum class PartitionAssignment : std::uint8_t {
+  kRoundRobin,
+  kCostBalanced,
+};
+
+struct ClusterRunConfig {
+  std::size_t ranks = 1;
+  ZonalConfig zonal;
+  DeviceProfile device_profile = DeviceProfile::k20();
+  bool compress = false;  ///< run Step 0 from BQ-Tree-compressed partitions
+  PartitionAssignment assignment = PartitionAssignment::kRoundRobin;
+};
+
+struct ClusterRunResult {
+  HistogramSet merged;                ///< per-polygon histograms (master)
+  std::vector<StepTimes> per_rank;    ///< per-rank step breakdowns
+  std::vector<WorkCounters> per_rank_work;  ///< per-rank work (load balance)
+  std::vector<double> rank_seconds;   ///< per-rank wall times (incl. comm)
+  double wall_seconds = 0.0;          ///< max over ranks
+  std::uint64_t comm_bytes = 0;       ///< total bytes sent
+  WorkCounters work;                  ///< summed over partitions
+};
+
+/// Partition each raster of `rasters` with the matching schema in
+/// `schemas` (part_rows x part_cols pairs), then run the cluster job.
+/// `rasters[i]` must already carry its georeferencing. All ranks share
+/// the polygon layer, as in the paper (the county layer is tiny next to
+/// the rasters).
+[[nodiscard]] ClusterRunResult run_cluster_zonal(
+    const std::vector<DemRaster>& rasters,
+    const std::vector<std::pair<int, int>>& schemas,
+    const PolygonSet& polygons, const ClusterRunConfig& config);
+
+}  // namespace zh

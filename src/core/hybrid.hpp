@@ -1,0 +1,41 @@
+// Hybrid two-device execution of the refinement step.
+//
+// The authors' companion work (paper ref [20]) runs zonal summations on
+// *hybrid CPU-GPU systems*: the dominant per-cell refinement splits
+// between the accelerator and the host cores. This module reproduces
+// that scheme for Step 4: the intersect groups are partitioned by
+// estimated cost (edge tests) into a primary-device share and a
+// secondary-device share, the two refinements run concurrently, and the
+// partial histograms merge additively. Steps 0-3 stay on the primary
+// device (they are cheap or bandwidth-bound). Results are identical to
+// single-device execution for any split fraction.
+#pragma once
+
+#include "core/pipeline.hpp"
+
+namespace zh {
+
+struct HybridConfig {
+  ZonalConfig zonal;
+  /// Fraction of Step-4 work routed to the primary device; the rest
+  /// goes to the secondary. Negative = derive from the two device
+  /// profiles' modeled Step-4 speeds.
+  double primary_fraction = -1.0;
+};
+
+struct HybridResult {
+  HistogramSet per_polygon;
+  StepTimes times;          ///< Step 4 = max of the two devices' shares
+  WorkCounters work;
+  double primary_fraction = 0.0;   ///< the fraction actually used
+  double primary_seconds = 0.0;    ///< measured Step-4 share times
+  double secondary_seconds = 0.0;
+};
+
+/// Run the pipeline with Step 4 split across two devices.
+[[nodiscard]] HybridResult run_hybrid(Device& primary, Device& secondary,
+                                      const DemRaster& raster,
+                                      const PolygonSet& polygons,
+                                      const HybridConfig& config);
+
+}  // namespace zh

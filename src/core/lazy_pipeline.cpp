@@ -1,0 +1,148 @@
+#include "core/lazy_pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/step1_tile_hist.hpp"
+#include "core/step2_pairing.hpp"
+#include "core/step3_aggregate.hpp"
+#include "core/step4_refine.hpp"
+#include "device/thread_pool.hpp"
+
+namespace zh {
+
+ZonalResult run_lazy(Device& device, const BqCompressedRaster& compressed,
+                     const PolygonSet& polygons, const ZonalConfig& config,
+                     LazyCounters* counters) {
+  ZH_REQUIRE(compressed.tiling().tile_size() == config.tile_size,
+             "compressed raster tiling does not match config tile size");
+  const TilingScheme& tiling = compressed.tiling();
+
+  ZonalResult result;
+  result.per_polygon = HistogramSet(polygons.size(), config.bins);
+  result.work.tiles_total = tiling.tile_count();
+  result.work.polygon_vertices = polygons.vertex_count();
+  result.work.compressed_bytes = compressed.compressed_bytes();
+  result.work.raw_bytes = compressed.raw_bytes();
+  result.work.cells_total = static_cast<std::uint64_t>(
+      tiling.raster_rows() * tiling.raster_cols());
+
+  Timer timer;
+
+  // Step 2 first: tile boxes only, no cell data.
+  const PairingResult pairing =
+      pair_and_group(polygons, tiling, compressed.transform());
+  result.times.seconds[2] = timer.seconds();
+  result.work.candidate_pairs = pairing.candidate_pairs;
+  result.work.pairs_inside = pairing.inside.pair_count();
+  result.work.pairs_intersect = pairing.intersect.pair_count();
+
+  // Tile demand: which tiles need a histogram (inside) and which need
+  // decoded cells for PIP (intersect). kInvalidSlot marks untouched.
+  constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> hist_slot(tiling.tile_count(), kNoSlot);
+  std::vector<TileId> hist_tiles;
+  for (const TileId t : pairing.inside.tid_v) {
+    if (hist_slot[t] == kNoSlot) {
+      hist_slot[t] = static_cast<std::uint32_t>(hist_tiles.size());
+      hist_tiles.push_back(t);
+    }
+  }
+  std::vector<bool> needs_cells(tiling.tile_count(), false);
+  for (const TileId t : pairing.intersect.tid_v) needs_cells[t] = true;
+  std::vector<bool> needs_decode = needs_cells;
+  for (const TileId t : hist_tiles) needs_decode[t] = true;
+
+  // Step 0 (partial): decode only the demanded tiles, in parallel, into
+  // a full-extent raster (untouched tiles stay zero and are never read).
+  timer.reset();
+  DemRaster raster(tiling.raster_rows(), tiling.raster_cols(),
+                   compressed.transform());
+  std::atomic<std::uint64_t> decoded_tiles{0};
+  std::atomic<std::uint64_t> decoded_cells{0};
+  ThreadPool::global().parallel_for(
+      tiling.tile_count(), [&](std::size_t b, std::size_t e) {
+        std::vector<CellValue> cells;
+        std::uint64_t tiles = 0;
+        std::uint64_t n_cells = 0;
+        for (std::size_t i = b; i < e; ++i) {
+          const TileId id = static_cast<TileId>(i);
+          if (!needs_decode[id]) continue;
+          const CellWindow w = tiling.tile_window(id);
+          cells.resize(static_cast<std::size_t>(w.cell_count()));
+          compressed.decode_tile(id, cells);
+          for (std::int64_t r = 0; r < w.rows; ++r) {
+            std::copy(
+                cells.begin() + static_cast<std::size_t>(r * w.cols),
+                cells.begin() + static_cast<std::size_t>((r + 1) * w.cols),
+                &raster.at(w.row0 + r, w.col0));
+          }
+          ++tiles;
+          n_cells += static_cast<std::uint64_t>(w.cell_count());
+        }
+        decoded_tiles.fetch_add(tiles, std::memory_order_relaxed);
+        decoded_cells.fetch_add(n_cells, std::memory_order_relaxed);
+      });
+  result.times.seconds[0] = timer.seconds();
+
+  // Step 1 (partial): histograms only for inside tiles, stored compactly
+  // (one row per demanded tile, not per tile).
+  timer.reset();
+  HistogramSet tile_hist(hist_tiles.size(), config.bins);
+  {
+    const std::span<const CellValue> cells = raster.cells();
+    const std::int64_t cols = raster.cols();
+    BinCount* out = tile_hist.flat().data();
+    const BinIndex bins = config.bins;
+    device.launch(
+        static_cast<std::uint32_t>(hist_tiles.size()),
+        [&](const BlockContext& ctx) {
+          const TileId tile = hist_tiles[ctx.block_id()];
+          const CellWindow w = tiling.tile_window(tile);
+          BinCount* row =
+              out + static_cast<std::size_t>(ctx.block_id()) * bins;
+          ctx.strided(static_cast<std::size_t>(w.cell_count()),
+                      [&](std::size_t p) {
+                        const std::int64_t r =
+                            w.row0 + static_cast<std::int64_t>(p) / w.cols;
+                        const std::int64_t c =
+                            w.col0 + static_cast<std::int64_t>(p) % w.cols;
+                        const CellValue v = cells[static_cast<std::size_t>(
+                            r * cols + c)];
+                        const BinIndex bb = v < bins ? v : bins - 1;
+                        atomic_add(&row[bb]);
+                      });
+        });
+  }
+  result.times.seconds[1] = timer.seconds();
+
+  // Step 3 on the compact table: remap tile ids to table slots.
+  timer.reset();
+  PolygonTileGroups inside = pairing.inside;
+  for (TileId& t : inside.tid_v) t = hist_slot[t];
+  aggregate_inside_tiles(device, inside, tile_hist, result.per_polygon);
+  result.times.seconds[3] = timer.seconds();
+  result.work.aggregate_bin_adds =
+      static_cast<std::uint64_t>(pairing.inside.pair_count()) * config.bins;
+
+  // Step 4 unchanged.
+  timer.reset();
+  const PolygonSoA soa = PolygonSoA::build(polygons);
+  const RefineCounters rc = refine_boundary_tiles(
+      device, pairing.intersect, soa, raster, tiling, result.per_polygon,
+      config.refine_granularity);
+  result.times.seconds[4] = timer.seconds();
+  result.work.pip_cell_tests = rc.cell_tests;
+  result.work.pip_edge_tests = rc.edge_tests;
+  result.work.cells_in_polygons = result.per_polygon.total();
+
+  if (counters != nullptr) {
+    counters->tiles_total = tiling.tile_count();
+    counters->tiles_decoded = decoded_tiles.load();
+    counters->tiles_histogrammed = hist_tiles.size();
+    counters->cells_decoded = decoded_cells.load();
+  }
+  return result;
+}
+
+}  // namespace zh

@@ -1,0 +1,40 @@
+// Filter-first execution from compressed input.
+//
+// The published pipeline decodes the whole raster (Step 0) before
+// histogramming every tile (Step 1), because Step 1 is defined as
+// polygon-independent. But the Step-2 spatial filter only needs tile
+// *boxes* -- no cell data at all -- so it can run first, after which:
+//   * outside tiles  (no polygon)        -> never decoded at all,
+//   * inside tiles   (Step-3 consumers)  -> decoded + histogrammed,
+//   * intersect tiles (Step-4 consumers) -> decoded, cells kept for PIP.
+// For zone layers that cover only part of the raster (the paper's
+// southern-Florida observation: whole partitions mostly outside any
+// county) this removes the corresponding share of decode + histogram
+// work while producing bit-identical results.
+#pragma once
+
+#include <cstdint>
+
+#include "bqtree/compressed_raster.hpp"
+#include "core/pipeline.hpp"
+
+namespace zh {
+
+struct LazyCounters {
+  std::uint64_t tiles_total = 0;
+  std::uint64_t tiles_decoded = 0;      ///< inside + intersect tiles
+  std::uint64_t tiles_histogrammed = 0; ///< tiles needing per-tile hist
+  std::uint64_t cells_decoded = 0;
+};
+
+/// Run the zonal pipeline from compressed input, decoding only tiles
+/// referenced by the pairing. Identical output to
+/// ZonalPipeline::run(compressed, polygons); per-step times attribute
+/// the (partial) decode to Step 0. `counters` reports the work skipped.
+[[nodiscard]] ZonalResult run_lazy(Device& device,
+                                   const BqCompressedRaster& compressed,
+                                   const PolygonSet& polygons,
+                                   const ZonalConfig& config,
+                                   LazyCounters* counters = nullptr);
+
+}  // namespace zh

@@ -1,0 +1,67 @@
+#include "core/perf_model.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+namespace zh {
+
+namespace {
+
+// Per-step speed relative to GTX Titan for the paper's devices,
+// calibrated from the published Table-2 speedups. Index = step 0..4.
+constexpr double kQuadroScale[5] = {1.0 / 2.0, 1.0 / 1.6, 1.0, 1.0 / 2.0,
+                                    1.0 / 2.6};
+constexpr double kK20Scale[5] = {0.8, 0.8, 1.0, 0.8, 0.8};
+
+}  // namespace
+
+double PerfModel::device_step_scale(const DeviceProfile& dev,
+                                    std::size_t step) {
+  ZH_REQUIRE(step < StepTimes::kSteps, "step out of range");
+  const std::string_view name = dev.name;
+  if (name == "GTX Titan") return 1.0;
+  if (name == "Quadro 6000") return kQuadroScale[step];
+  if (name == "Tesla K20") return kK20Scale[step];
+  if (step == 2) return 1.0;  // the pairing step runs on the host CPU
+
+  // Unknown device: compute-throughput ratio capped by the bandwidth
+  // ratio, both against the GTX Titan reference.
+  const DeviceProfile titan = DeviceProfile::gtx_titan();
+  const double compute =
+      (static_cast<double>(dev.cuda_cores) * dev.core_clock_ghz) /
+      (static_cast<double>(titan.cuda_cores) * titan.core_clock_ghz);
+  const double bandwidth = dev.mem_bandwidth_gbs / titan.mem_bandwidth_gbs;
+  return std::min(compute, bandwidth);
+}
+
+StepTimes PerfModel::project(const WorkCounters& work,
+                             const DeviceProfile& dev) const {
+  StepTimes t;
+  auto proj = [&](std::size_t step, double units, double rate) {
+    const double scale = device_step_scale(dev, step);
+    t.seconds[step] = rate > 0.0 ? units / (rate * scale) : 0.0;
+  };
+  proj(0, static_cast<double>(work.cells_total) *
+              (work.compressed_bytes > 0 ? 1.0 : 0.0),
+       rates_.decode_cells_per_s);
+  proj(1, static_cast<double>(work.cells_total), rates_.hist_cells_per_s);
+  proj(2, static_cast<double>(work.candidate_pairs),
+       rates_.pairing_pairs_per_s);
+  proj(3, static_cast<double>(work.aggregate_bin_adds),
+       rates_.aggregate_adds_per_s);
+  proj(4, static_cast<double>(work.pip_edge_tests),
+       rates_.pip_edge_tests_per_s);
+
+  // End-to-end overhead: host->device copy of the (compressed) raster at
+  // PCIe bandwidth, plus a fixed 1 s allowance for result write-back --
+  // the paper attributes its end-to-end minus step-sum gap to exactly
+  // these ("data transfer times between CPUs and GPUs as well as times to
+  // write output to disks").
+  const std::uint64_t upload =
+      work.compressed_bytes > 0 ? work.compressed_bytes : work.raw_bytes;
+  t.overhead =
+      static_cast<double>(upload) / (dev.pcie_bandwidth_gbs * 1e9) + 1.0;
+  return t;
+}
+
+}  // namespace zh

@@ -1,0 +1,59 @@
+// Analytic per-step performance model for paper-scale projection.
+//
+// The emulation measures the *work* of every step exactly (WorkCounters),
+// but its wall times are host-CPU times. To reproduce the Table-2 device
+// comparison, this model converts work counters into projected seconds on
+// the paper's GPUs:
+//
+//   time(step, device) = work(step) / (rate_titan(step) * scale(device, step))
+//
+// The reference rates are the GTX Titan throughputs implied by Table 2 at
+// the paper's full-scale workload (20.17 G cells, 5000 bins, 0.1-degree
+// tiles); the per-device scale factors come from the paper's measured
+// per-step speedups (Step 0 ~2.0x, Step 1 1.6x, Step 4 2.6x between
+// Quadro 6000 and GTX Titan; K20 ~0.8x of GTX Titan from the
+// 60.7 s-vs-46 s single-node comparison). Unknown devices scale by
+// compute throughput capped by memory bandwidth relative to GTX Titan.
+#pragma once
+
+#include "common/timer.hpp"
+#include "core/pipeline.hpp"
+#include "device/device.hpp"
+
+namespace zh {
+
+class PerfModel {
+ public:
+  /// Reference throughputs on GTX Titan, calibrated as
+  ///   rate = full-scale work of the default CONUS workload
+  ///            / Table-2 GTX Titan seconds
+  /// so the default bench_table2_steps run reproduces the Table-2 GTX
+  /// Titan column (calibration derivation in EXPERIMENTS.md).
+  struct Rates {
+    double decode_cells_per_s = 2.24e9;     ///< Step 0: 20.17 G / 9.0 s
+    double hist_cells_per_s = 2.52e9;       ///< Step 1: 20.17 G / 8.0 s
+    double pairing_pairs_per_s = 2.92e5;    ///< Step 2: 204.5 k / 0.7 s
+    double aggregate_adds_per_s = 1.82e9;   ///< Step 3: 546 M / 0.3 s
+    double pip_edge_tests_per_s = 2.674e10; ///< Step 4: 615 G / 23.0 s
+  };
+
+  PerfModel() = default;
+  explicit PerfModel(Rates rates) : rates_(rates) {}
+
+  [[nodiscard]] const Rates& rates() const { return rates_; }
+
+  /// Device-relative speed for a step (GTX Titan == 1.0).
+  [[nodiscard]] static double device_step_scale(const DeviceProfile& dev,
+                                                std::size_t step);
+
+  /// Projected per-step seconds for `work` on `dev`. `overhead` carries
+  /// the modeled host->device transfer of the (compressed) raster at the
+  /// device's PCIe bandwidth plus a fixed output-write allowance.
+  [[nodiscard]] StepTimes project(const WorkCounters& work,
+                                  const DeviceProfile& dev) const;
+
+ private:
+  Rates rates_;
+};
+
+}  // namespace zh

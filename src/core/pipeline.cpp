@@ -1,0 +1,136 @@
+#include "core/pipeline.hpp"
+
+#include "cluster/partition.hpp"
+#include "core/step3_aggregate.hpp"
+
+namespace zh {
+
+WorkCounters& WorkCounters::operator+=(const WorkCounters& o) {
+  cells_total += o.cells_total;
+  tiles_total += o.tiles_total;
+  candidate_pairs += o.candidate_pairs;
+  pairs_inside += o.pairs_inside;
+  pairs_intersect += o.pairs_intersect;
+  polygon_vertices = std::max(polygon_vertices, o.polygon_vertices);
+  aggregate_bin_adds += o.aggregate_bin_adds;
+  pip_cell_tests += o.pip_cell_tests;
+  pip_edge_tests += o.pip_edge_tests;
+  cells_in_polygons += o.cells_in_polygons;
+  compressed_bytes += o.compressed_bytes;
+  raw_bytes += o.raw_bytes;
+  return *this;
+}
+
+ZonalResult ZonalPipeline::run(const DemRaster& raster,
+                               const PolygonSet& polygons,
+                               ZonalWorkspace* workspace) const {
+  const PolygonSoA soa = PolygonSoA::build(polygons);
+  return run(raster, polygons, soa, workspace);
+}
+
+ZonalResult ZonalPipeline::run(const DemRaster& raster,
+                               const PolygonSet& polygons,
+                               const PolygonSoA& soa,
+                               ZonalWorkspace* workspace) const {
+  ZH_REQUIRE(soa.polygon_count() == polygons.size(),
+             "SoA does not match polygon set");
+  ZonalResult result;
+  result.per_polygon = HistogramSet(polygons.size(), config_.bins);
+  result.work.polygon_vertices = polygons.vertex_count();
+  result.work.cells_total = static_cast<std::uint64_t>(raster.cell_count());
+  result.work.raw_bytes =
+      static_cast<std::uint64_t>(raster.cell_count()) * sizeof(CellValue);
+
+  const TilingScheme tiling(raster.rows(), raster.cols(),
+                            config_.tile_size);
+  result.work.tiles_total = tiling.tile_count();
+  Timer timer;
+
+  // Step 1: per-tile histograms (independent of the polygon layer). The
+  // table lives in the caller's workspace when one is supplied, so
+  // successive runs reuse the (potentially multi-GB) allocation.
+  timer.reset();
+  ZonalWorkspace local_ws;
+  ZonalWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
+  tile_histograms_into(*device_, raster, tiling, config_.bins,
+                       config_.count_mode, ws.tile_hist,
+                       config_.cell_order);
+  const HistogramSet& tile_hist = ws.tile_hist;
+  result.times.seconds[1] = timer.seconds();
+
+  // Step 2: MBB rasterization + tile classification + Fig. 4 grouping.
+  timer.reset();
+  const PairingResult pairing =
+      pair_and_group(polygons, tiling, raster.transform());
+  result.times.seconds[2] = timer.seconds();
+  result.work.candidate_pairs = pairing.candidate_pairs;
+  result.work.pairs_inside = pairing.inside.pair_count();
+  result.work.pairs_intersect = pairing.intersect.pair_count();
+
+  // Step 3: aggregate completely-inside tile histograms.
+  timer.reset();
+  aggregate_inside_tiles(*device_, pairing.inside, tile_hist,
+                         result.per_polygon);
+  result.times.seconds[3] = timer.seconds();
+  result.work.aggregate_bin_adds =
+      static_cast<std::uint64_t>(pairing.inside.pair_count()) *
+      config_.bins;
+
+  // Step 4: cell-in-polygon refinement on boundary tiles.
+  timer.reset();
+  const RefineCounters rc = refine_boundary_tiles(
+      *device_, pairing.intersect, soa, raster, tiling, result.per_polygon,
+      config_.refine_granularity);
+  result.times.seconds[4] = timer.seconds();
+  result.work.pip_cell_tests = rc.cell_tests;
+  result.work.pip_edge_tests = rc.edge_tests;
+  result.work.cells_in_polygons = result.per_polygon.total();
+  return result;
+}
+
+ZonalResult ZonalPipeline::run_partitioned(const DemRaster& raster,
+                                           const PolygonSet& polygons,
+                                           int part_rows, int part_cols,
+                                           ZonalWorkspace* workspace) const {
+  const PolygonSoA soa = PolygonSoA::build(polygons);
+  const std::vector<CellWindow> windows = grid_partition(
+      raster.rows(), raster.cols(), part_rows, part_cols,
+      config_.tile_size);
+
+  ZonalWorkspace local_ws;
+  ZonalWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
+
+  ZonalResult merged;
+  merged.per_polygon = HistogramSet(polygons.size(), config_.bins);
+  for (const CellWindow& win : windows) {
+    const DemRaster part = raster.copy_window(win);
+    ZonalResult r = run(part, polygons, soa, &ws);
+    merged.per_polygon.add(r.per_polygon);
+    merged.times += r.times;
+    merged.work += r.work;
+  }
+  // Window-level counters that must not sum.
+  merged.work.polygon_vertices = polygons.vertex_count();
+  merged.work.cells_in_polygons = merged.per_polygon.total();
+  return merged;
+}
+
+ZonalResult ZonalPipeline::run(const BqCompressedRaster& compressed,
+                               const PolygonSet& polygons,
+                               ZonalWorkspace* workspace) const {
+  ZH_REQUIRE(compressed.tiling().tile_size() == config_.tile_size,
+             "compressed raster tiling does not match pipeline tile size");
+  Timer timer;
+  // Step 0: decode (tiles decoded in parallel; stand-in for the paper's
+  // on-device BQ-Tree decoding).
+  const DemRaster raster = compressed.decode_all();
+  const double decode_seconds = timer.seconds();
+
+  ZonalResult result = run(raster, polygons, workspace);
+  result.times.seconds[0] = decode_seconds;
+  result.work.compressed_bytes = compressed.compressed_bytes();
+  result.work.raw_bytes = compressed.raw_bytes();
+  return result;
+}
+
+}  // namespace zh

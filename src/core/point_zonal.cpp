@@ -1,0 +1,181 @@
+#include "core/point_zonal.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/step2_pairing.hpp"
+#include "device/thread_pool.hpp"
+#include "geom/pip.hpp"
+#include "geom/soa.hpp"
+#include "primitives/primitives.hpp"
+
+namespace zh {
+
+namespace {
+
+/// Points bucketed by tile: a permutation of point indices grouped by
+/// tile id, plus per-tile [begin, end) offsets -- the grid-file index of
+/// refs [19]/[20] built with the Fig.-4 primitives.
+struct PointGridIndex {
+  std::vector<std::uint32_t> point_ids;  // grouped by tile
+  std::vector<std::uint32_t> tile_begin;  // size tile_count + 1
+};
+
+PointGridIndex build_point_index(const PointSet& points,
+                                 const TilingScheme& tiling,
+                                 const GeoTransform& transform) {
+  const std::size_t n = points.size();
+  std::vector<TileId> tile_of(n);
+  ThreadPool::global().parallel_for(
+      n,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const std::int64_t c = transform.x_to_col(points.x[i]);
+          const std::int64_t r = transform.y_to_row(points.y[i]);
+          if (r < 0 || r >= tiling.raster_rows() || c < 0 ||
+              c >= tiling.raster_cols()) {
+            tile_of[i] = kInvalidTile;
+          } else {
+            tile_of[i] = tiling.tile_id(r / tiling.tile_size(),
+                                        c / tiling.tile_size());
+          }
+        }
+      },
+      1 << 12);
+
+  // stable_sort_by_key(tile, point_id) groups points by tile.
+  const auto perm = prim::stable_sort_permutation<TileId>(tile_of);
+
+  PointGridIndex index;
+  index.point_ids.resize(n);
+  index.tile_begin.assign(tiling.tile_count() + 1, 0);
+  // Counting pass (histogram of tiles) + exclusive scan = bucket offsets.
+  std::vector<std::uint32_t> counts(tiling.tile_count(), 0);
+  std::size_t in_range = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tile_of[i] == kInvalidTile) continue;
+    ++counts[tile_of[i]];
+    ++in_range;
+  }
+  prim::exclusive_scan<std::uint32_t>(
+      counts, std::span<std::uint32_t>(index.tile_begin)
+                  .subspan(0, tiling.tile_count()));
+  index.tile_begin[tiling.tile_count()] =
+      static_cast<std::uint32_t>(in_range);
+  // The sorted permutation lists out-of-range (kInvalidTile) points last.
+  index.point_ids.resize(in_range);
+  for (std::size_t i = 0; i < in_range; ++i) {
+    index.point_ids[i] = static_cast<std::uint32_t>(perm[i]);
+  }
+  return index;
+}
+
+double weight_of(const PointSet& points, std::size_t i) {
+  return points.weight.empty() ? 1.0 : points.weight[i];
+}
+
+}  // namespace
+
+std::vector<PointZonalRow> zonal_point_summation(
+    Device& device, const PointSet& points, const PolygonSet& polygons,
+    const TilingScheme& tiling, const GeoTransform& transform,
+    PointZonalCounters* counters) {
+  ZH_REQUIRE(points.weight.empty() || points.weight.size() == points.size(),
+             "weight array must be empty or match point count");
+  std::vector<PointZonalRow> rows(polygons.size());
+  if (polygons.empty() || tiling.tile_count() == 0) return rows;
+
+  const PointGridIndex index =
+      build_point_index(points, tiling, transform);
+  const PairingResult pairing =
+      pair_and_group(polygons, tiling, transform);
+  const PolygonSoA soa = PolygonSoA::build(polygons);
+
+  std::atomic<std::uint64_t> bucket_points{0};
+  std::atomic<std::uint64_t> pip_tests{0};
+
+  // Inside tiles: whole buckets aggregate, no PIP (the Step-3 analog).
+  device.launch(
+      static_cast<std::uint32_t>(pairing.inside.group_count()),
+      [&](const BlockContext& ctx) {
+        const std::size_t idx = ctx.block_id();
+        const PolygonId pid = pairing.inside.pid_v[idx];
+        PointZonalRow acc;
+        const std::uint32_t pos = pairing.inside.pos_v[idx];
+        for (std::uint32_t k = 0; k < pairing.inside.num_v[idx]; ++k) {
+          const TileId tile = pairing.inside.tid_v[pos + k];
+          for (std::uint32_t i = index.tile_begin[tile];
+               i < index.tile_begin[tile + 1]; ++i) {
+            const std::uint32_t pt = index.point_ids[i];
+            ++acc.count;
+            acc.weight_sum += weight_of(points, pt);
+          }
+        }
+        bucket_points.fetch_add(acc.count, std::memory_order_relaxed);
+        rows[pid].count += acc.count;
+        rows[pid].weight_sum += acc.weight_sum;
+      });
+
+  // Boundary tiles: ray-crossing test per point (the Step-4 analog).
+  device.launch(
+      static_cast<std::uint32_t>(pairing.intersect.group_count()),
+      [&](const BlockContext& ctx) {
+        const std::size_t idx = ctx.block_id();
+        const PolygonId pid = pairing.intersect.pid_v[idx];
+        const auto [p_f, p_t] = soa.vertex_range(pid);
+        PointZonalRow acc;
+        std::uint64_t tests = 0;
+        const std::uint32_t pos = pairing.intersect.pos_v[idx];
+        for (std::uint32_t k = 0; k < pairing.intersect.num_v[idx]; ++k) {
+          const TileId tile = pairing.intersect.tid_v[pos + k];
+          for (std::uint32_t i = index.tile_begin[tile];
+               i < index.tile_begin[tile + 1]; ++i) {
+            const std::uint32_t pt = index.point_ids[i];
+            ++tests;
+            if (point_in_polygon_soa_raw(soa.x_v().data(),
+                                         soa.y_v().data(), p_f, p_t,
+                                         points.x[pt], points.y[pt])) {
+              ++acc.count;
+              acc.weight_sum += weight_of(points, pt);
+            }
+          }
+        }
+        pip_tests.fetch_add(tests, std::memory_order_relaxed);
+        rows[pid].count += acc.count;
+        rows[pid].weight_sum += acc.weight_sum;
+      });
+
+  if (counters != nullptr) {
+    counters->points_in_inside_tiles = bucket_points.load();
+    counters->pip_point_tests = pip_tests.load();
+  }
+  return rows;
+}
+
+std::vector<PointZonalRow> zonal_point_summation_reference(
+    const PointSet& points, const PolygonSet& polygons) {
+  ZH_REQUIRE(points.weight.empty() || points.weight.size() == points.size(),
+             "weight array must be empty or match point count");
+  std::vector<PointZonalRow> rows(polygons.size());
+  ThreadPool::global().parallel_for(
+      polygons.size(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t z = b; z < e; ++z) {
+          const Polygon& poly = polygons[static_cast<PolygonId>(z)];
+          const GeoBox mbr = poly.mbr();
+          PointZonalRow acc;
+          for (std::size_t i = 0; i < points.size(); ++i) {
+            if (!mbr.contains(GeoPoint{points.x[i], points.y[i]})) {
+              continue;
+            }
+            if (point_in_polygon(poly, {points.x[i], points.y[i]})) {
+              ++acc.count;
+              acc.weight_sum += weight_of(points, i);
+            }
+          }
+          rows[z] = acc;
+        }
+      });
+  return rows;
+}
+
+}  // namespace zh

@@ -1,0 +1,89 @@
+#include "core/rasterize.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "device/thread_pool.hpp"
+
+namespace zh {
+
+Raster<PolygonId> rasterize_zones(const PolygonSet& polygons,
+                                  std::int64_t rows, std::int64_t cols,
+                                  const GeoTransform& transform) {
+  Raster<PolygonId> out(rows, cols, transform, kInvalidPolygon);
+  if (rows == 0 || cols == 0) return out;
+  const GeoBox extent = transform.extent(rows, cols);
+
+  // Parallel over rows; polygons applied in id order per row so the
+  // highest id deterministically wins overlaps.
+  struct PolyRef {
+    const Polygon* poly;
+    GeoBox mbr;
+    PolygonId id;
+  };
+  std::vector<PolyRef> refs;
+  refs.reserve(polygons.size());
+  for (PolygonId id = 0; id < polygons.size(); ++id) {
+    const GeoBox mbr = polygons[id].mbr();
+    if (extent.intersects(mbr)) refs.push_back({&polygons[id], mbr, id});
+  }
+
+  ThreadPool::global().parallel_for(
+      static_cast<std::size_t>(rows), [&](std::size_t rb, std::size_t re) {
+        std::vector<double> xints;
+        for (std::size_t r = rb; r < re; ++r) {
+          const double py =
+              transform.cell_center(static_cast<std::int64_t>(r), 0).y;
+          for (const PolyRef& ref : refs) {
+            if (py < ref.mbr.min_y || py > ref.mbr.max_y) continue;
+
+            xints.clear();
+            for (const Ring& ring : ref.poly->rings()) {
+              const std::size_t n = ring.size();
+              for (std::size_t k = 0; k < n; ++k) {
+                const GeoPoint& a = ring[k];
+                const GeoPoint& b = ring[(k + 1) % n];
+                if (((a.y <= py) && (py < b.y)) ||
+                    ((b.y <= py) && (py < a.y))) {
+                  xints.push_back((b.x - a.x) * (py - a.y) /
+                                      (b.y - a.y) +
+                                  a.x);
+                }
+              }
+            }
+            if (xints.empty()) continue;
+            std::sort(xints.begin(), xints.end());
+
+            // Interior spans under the same strict rule as PIP: a center
+            // px is inside iff the count of intersections > px is odd,
+            // i.e. px in [xints[m-2k-2], xints[m-2k-1]).
+            const std::size_t m = xints.size();
+            for (std::size_t k = m % 2; k + 1 < m; k += 2) {
+              const double x0 = xints[k];
+              const double x1 = xints[k + 1];
+              // Columns whose center is >= x0 and < x1... careful: the
+              // parity rule is strictly-greater, so centers equal to x0
+              // are *inside* (x0 itself not counted) -- mirror the
+              // baseline's cursor logic by scanning candidate columns.
+              std::int64_t c0 = transform.x_to_col(x0);
+              std::int64_t c1 = transform.x_to_col(x1);
+              c0 = std::max<std::int64_t>(c0 - 1, 0);
+              c1 = std::min<std::int64_t>(c1 + 1, cols - 1);
+              for (std::int64_t c = c0; c <= c1; ++c) {
+                const double px =
+                    transform.cell_center(static_cast<std::int64_t>(r), c)
+                        .x;
+                // count of xints > px odd <=> px in [x0, x1) half-open
+                // under the strict comparison.
+                if (px >= x0 && px < x1) {
+                  out.at(static_cast<std::int64_t>(r), c) = ref.id;
+                }
+              }
+            }
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace zh

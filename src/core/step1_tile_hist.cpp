@@ -1,0 +1,107 @@
+#include "core/step1_tile_hist.hpp"
+
+#include <vector>
+
+namespace zh {
+
+HistogramSet tile_histograms(Device& device, const DemRaster& raster,
+                             const TilingScheme& tiling, BinIndex bins,
+                             CountMode mode, CellOrder order) {
+  HistogramSet hist;
+  tile_histograms_into(device, raster, tiling, bins, mode, hist, order);
+  return hist;
+}
+
+void tile_histograms_into(Device& device, const DemRaster& raster,
+                          const TilingScheme& tiling, BinIndex bins,
+                          CountMode mode, HistogramSet& hist,
+                          CellOrder order) {
+  ZH_REQUIRE(tiling.raster_rows() == raster.rows() &&
+                 tiling.raster_cols() == raster.cols(),
+             "tiling scheme does not match raster dims");
+  hist.reset(tiling.tile_count(), bins);
+  if (tiling.tile_count() == 0) return;
+
+  const std::optional<CellValue> nodata = raster.nodata();
+  const std::span<const CellValue> cells = raster.cells();
+  const std::int64_t cols = raster.cols();
+  BinCount* out = hist.flat().data();
+
+  // CellAggrKernel analog: idx-th block handles the idx-th tile. The bin
+  // zeroing phase of Fig. 2 (lines 2-4) is done by HistogramSet's
+  // zero-initialization; the cell loop (lines 6-11) is the strided loop
+  // below. Atomic adds are kept even though one block owns one tile's
+  // histogram -- faithful to the paper's kernel, and required if a future
+  // scheduler splits tiles across blocks.
+  device.launch_named(
+      "CellAggrKernel", static_cast<std::uint32_t>(tiling.tile_count()),
+      [&, nodata, cols, out](const BlockContext& ctx) {
+    const TileId tile = ctx.block_id();
+    const CellWindow w = tiling.tile_window(tile);
+    BinCount* tile_hist = out + static_cast<std::size_t>(tile) * bins;
+    const std::size_t n = static_cast<std::size_t>(w.cell_count());
+
+    switch (mode) {
+      case CountMode::kAtomic:
+        if (order == CellOrder::kMorton) {
+          // Z-order visitation: the Sec. III.A locality improvement.
+          // Histograms are order-independent, so the result is identical
+          // to row-major; only the access pattern changes.
+          for_each_cell(static_cast<std::uint32_t>(w.rows),
+                        static_cast<std::uint32_t>(w.cols),
+                        CellOrder::kMorton,
+                        [&](std::uint32_t lr, std::uint32_t lc) {
+                          const std::int64_t r = w.row0 + lr;
+                          const std::int64_t c = w.col0 + lc;
+                          const CellValue v = cells[static_cast<std::size_t>(
+                              r * cols + c)];
+                          if (nodata && v == *nodata) return;
+                          const BinIndex b = v < bins ? v : bins - 1;
+                          atomic_add(&tile_hist[b]);
+                        });
+          break;
+        }
+        ctx.strided(n, [&](std::size_t p) {
+          const std::int64_t r = w.row0 + static_cast<std::int64_t>(p) /
+                                              w.cols;
+          const std::int64_t c = w.col0 + static_cast<std::int64_t>(p) %
+                                              w.cols;
+          const CellValue v = cells[static_cast<std::size_t>(r * cols + c)];
+          if (nodata && v == *nodata) return;
+          const BinIndex b = v < bins ? v : bins - 1;
+          atomic_add(&tile_hist[b]);
+        });
+        break;
+
+      case CountMode::kPrivatized: {
+        // One private histogram per virtual thread, merged after the cell
+        // phase; memory cost bins * block_dim per block, which is why the
+        // paper rejects this for large bin counts.
+        const std::uint32_t dim = ctx.block_dim();
+        std::vector<BinCount> priv(static_cast<std::size_t>(bins) * dim, 0);
+        ctx.strided(n, [&](std::size_t p) {
+          const std::int64_t r = w.row0 + static_cast<std::int64_t>(p) /
+                                              w.cols;
+          const std::int64_t c = w.col0 + static_cast<std::int64_t>(p) %
+                                              w.cols;
+          const CellValue v = cells[static_cast<std::size_t>(r * cols + c)];
+          if (nodata && v == *nodata) return;
+          const BinIndex b = v < bins ? v : bins - 1;
+          const std::uint32_t t = static_cast<std::uint32_t>(p % dim);
+          ++priv[static_cast<std::size_t>(t) * bins + b];
+        });
+        ctx.sync();
+        ctx.strided(bins, [&](std::size_t b) {
+          BinCount acc = 0;
+          for (std::uint32_t t = 0; t < dim; ++t) {
+            acc += priv[static_cast<std::size_t>(t) * bins + b];
+          }
+          tile_hist[b] += acc;
+        });
+        break;
+      }
+    }
+  });
+}
+
+}  // namespace zh

@@ -1,0 +1,125 @@
+#include "core/step2_pairing.hpp"
+
+#include <mutex>
+
+#include "device/thread_pool.hpp"
+#include "geom/classify.hpp"
+#include "primitives/primitives.hpp"
+
+namespace zh {
+
+TilePolygonPairs pair_tiles_with_polygons(const PolygonSet& polygons,
+                                          const TilingScheme& tiling,
+                                          const GeoTransform& transform) {
+  const std::size_t n = polygons.size();
+
+  // Per-polygon local buffers, concatenated in polygon order afterwards so
+  // the output is deterministic regardless of scheduling.
+  struct Local {
+    std::vector<TileId> tiles;
+    std::vector<TileRelation> rels;
+  };
+  std::vector<Local> locals(n);
+
+  ThreadPool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const Polygon& poly = polygons[static_cast<PolygonId>(i)];
+      const GeoBox mbr = poly.mbr();
+      // MBB rasterization: candidate tiles from the grid index.
+      const std::vector<TileId> candidates =
+          tiling.tiles_covering(mbr, transform);
+      Local& loc = locals[i];
+      loc.tiles.reserve(candidates.size());
+      loc.rels.reserve(candidates.size());
+      for (const TileId t : candidates) {
+        const TileRelation rel =
+            classify_box(poly, mbr, tiling.tile_box(t, transform));
+        if (rel == TileRelation::kOutside) continue;
+        loc.tiles.push_back(t);
+        loc.rels.push_back(rel);
+      }
+    }
+  });
+
+  TilePolygonPairs out;
+  std::size_t total = 0;
+  for (const Local& loc : locals) total += loc.tiles.size();
+  out.tile_ids.reserve(total);
+  out.polygon_ids.reserve(total);
+  out.relations.reserve(total);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Local& loc = locals[i];
+    for (std::size_t k = 0; k < loc.tiles.size(); ++k) {
+      out.tile_ids.push_back(loc.tiles[k]);
+      out.polygon_ids.push_back(static_cast<PolygonId>(i));
+      out.relations.push_back(loc.rels[k]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Build the (pid_v, num_v, pos_v, tid_v) arrays from pair lists already
+/// restricted to one relation class and sorted by polygon id.
+PolygonTileGroups make_groups(std::span<const PolygonId> pids,
+                              std::span<const TileId> tids) {
+  PolygonTileGroups g;
+  g.tid_v.assign(tids.begin(), tids.end());
+
+  // reduce_by_key: per-polygon tile counts (Fig. 4 middle).
+  std::vector<std::uint32_t> ones(pids.size(), 1);
+  auto [keys, counts] = prim::reduce_by_key<PolygonId, std::uint32_t>(
+      pids, std::span<const std::uint32_t>(ones));
+  g.pid_v = std::move(keys);
+  g.num_v = std::move(counts);
+
+  // exclusive scan: group start offsets (Fig. 4 bottom).
+  g.pos_v.resize(g.num_v.size());
+  prim::exclusive_scan<std::uint32_t>(g.num_v, g.pos_v, 0);
+  return g;
+}
+
+}  // namespace
+
+PairingResult build_pairing_groups(TilePolygonPairs pairs) {
+  PairingResult result;
+  result.candidate_pairs = pairs.size();
+  if (pairs.size() == 0) return result;
+
+  // Composite sort key (relation, polygon): one stable_sort_by_key brings
+  // all inside pairs ahead of all intersect pairs AND groups each class
+  // by polygon, mirroring the paper's stable_sort_by_key +
+  // stable_partition combination.
+  std::vector<std::uint64_t> keys(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    keys[i] = (static_cast<std::uint64_t>(pairs.relations[i]) << 32) |
+              pairs.polygon_ids[i];
+  }
+  prim::stable_sort_by_key(keys, pairs.polygon_ids, pairs.tile_ids);
+
+  // stable_partition point: first intersect entry.
+  std::size_t split = 0;
+  while (split < keys.size() &&
+         (keys[split] >> 32) ==
+             static_cast<std::uint64_t>(TileRelation::kInside)) {
+    ++split;
+  }
+
+  result.inside = make_groups(
+      std::span<const PolygonId>(pairs.polygon_ids).subspan(0, split),
+      std::span<const TileId>(pairs.tile_ids).subspan(0, split));
+  result.intersect = make_groups(
+      std::span<const PolygonId>(pairs.polygon_ids).subspan(split),
+      std::span<const TileId>(pairs.tile_ids).subspan(split));
+  return result;
+}
+
+PairingResult pair_and_group(const PolygonSet& polygons,
+                             const TilingScheme& tiling,
+                             const GeoTransform& transform) {
+  return build_pairing_groups(
+      pair_tiles_with_polygons(polygons, tiling, transform));
+}
+
+}  // namespace zh

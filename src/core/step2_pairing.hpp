@@ -1,0 +1,67 @@
+// Step 2: pairing raster tiles with polygons (Sec. III.B, Figs. 3-4).
+//
+// Spatial filtering: each polygon's MBB is rasterized onto the tile grid
+// (the implicit grid-file index), producing candidate (tile, polygon)
+// pairs; exact polygon-vs-tile-box classification then labels each pair
+// outside (dropped), inside, or intersect. The Fig. 4 post-processing --
+// stable_sort_by_key, stable_partition, reduce_by_key, exclusive scan --
+// turns the labeled pair list into the (pid_v, num_v, pos_v, tid_v)
+// block-dispatch arrays consumed by Steps 3 and 4.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "geom/polygon.hpp"
+#include "grid/tiling.hpp"
+
+namespace zh {
+
+/// Raw labeled candidate pairs (outside pairs already dropped).
+struct TilePolygonPairs {
+  std::vector<TileId> tile_ids;
+  std::vector<PolygonId> polygon_ids;
+  std::vector<TileRelation> relations;
+
+  [[nodiscard]] std::size_t size() const { return tile_ids.size(); }
+};
+
+/// The dispatch arrays of Fig. 4 for one relation class: entry i says
+/// polygon pid_v[i] owns the num_v[i] tiles at tid_v[pos_v[i] ...].
+struct PolygonTileGroups {
+  std::vector<PolygonId> pid_v;
+  std::vector<std::uint32_t> num_v;
+  std::vector<std::uint32_t> pos_v;
+  std::vector<TileId> tid_v;
+
+  [[nodiscard]] std::size_t group_count() const { return pid_v.size(); }
+  [[nodiscard]] std::size_t pair_count() const { return tid_v.size(); }
+};
+
+/// Step-2 output: inside groups feed Step 3, intersect groups feed
+/// Step 4.
+struct PairingResult {
+  PolygonTileGroups inside;
+  PolygonTileGroups intersect;
+  std::size_t candidate_pairs = 0;  ///< pairs before classification
+};
+
+/// MBB rasterization + exact classification over all polygons (polygons
+/// processed in parallel). The classification itself runs on the CPU as
+/// in the paper ("we can realize this step on CPUs using well-established
+/// computational geometry libraries").
+[[nodiscard]] TilePolygonPairs pair_tiles_with_polygons(
+    const PolygonSet& polygons, const TilingScheme& tiling,
+    const GeoTransform& transform);
+
+/// Fig. 4 primitive pipeline: sort pairs by (relation, polygon), partition
+/// into inside/intersect, reduce_by_key for per-polygon tile counts, scan
+/// for group offsets.
+[[nodiscard]] PairingResult build_pairing_groups(TilePolygonPairs pairs);
+
+/// Convenience: both phases.
+[[nodiscard]] PairingResult pair_and_group(const PolygonSet& polygons,
+                                           const TilingScheme& tiling,
+                                           const GeoTransform& transform);
+
+}  // namespace zh

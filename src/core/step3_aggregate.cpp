@@ -1,0 +1,40 @@
+#include "core/step3_aggregate.hpp"
+
+namespace zh {
+
+void aggregate_inside_tiles(Device& device, const PolygonTileGroups& inside,
+                            const HistogramSet& tile_hist,
+                            HistogramSet& polygon_hist) {
+  if (inside.group_count() == 0) return;
+  ZH_REQUIRE(tile_hist.bins() == polygon_hist.bins(),
+             "tile/polygon histogram bin counts differ");
+  const BinIndex bins = tile_hist.bins();
+  const BinCount* tiles = tile_hist.flat().data();
+  BinCount* polys = polygon_hist.flat().data();
+
+  // UpdateHistKernel analog (Fig. 4 right): block idx -> (pid, num, pos);
+  // outer strided loop over bins, inner loop over the polygon's tiles.
+  // Consecutive virtual threads touch consecutive bins of both the tile
+  // row and the polygon row -- the coalesced-access pattern the paper
+  // engineers for.
+  device.launch_named(
+      "UpdateHistKernel",
+      static_cast<std::uint32_t>(inside.group_count()),
+      [&, bins, tiles, polys](const BlockContext& ctx) {
+        const std::size_t idx = ctx.block_id();
+        const PolygonId pid = inside.pid_v[idx];
+        const std::uint32_t num = inside.num_v[idx];
+        const std::uint32_t pos = inside.pos_v[idx];
+        BinCount* out = polys + static_cast<std::size_t>(pid) * bins;
+        ctx.strided(bins, [&](std::size_t p) {
+          BinCount acc = 0;
+          for (std::uint32_t i = 0; i < num; ++i) {
+            const TileId w = inside.tid_v[pos + i];
+            acc += tiles[static_cast<std::size_t>(w) * bins + p];
+          }
+          out[p] += acc;
+        });
+      });
+}
+
+}  // namespace zh

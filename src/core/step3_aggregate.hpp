@@ -1,0 +1,25 @@
+// Step 3: aggregate completely-inside per-tile histograms into
+// per-polygon histograms (Sec. III.C, Fig. 4 right).
+//
+// One device block per polygon group: threads stride over histogram bins
+// (outer loop), and for each bin iterate the polygon's inside tiles
+// (inner loop), accumulating per-tile counts into the polygon histogram.
+// No atomics needed: each polygon appears in exactly one group, so one
+// block exclusively owns each output row -- the property the paper's
+// UpdateHistKernel relies on.
+#pragma once
+
+#include "core/histogram.hpp"
+#include "core/step2_pairing.hpp"
+#include "device/device.hpp"
+
+namespace zh {
+
+/// Add inside-tile histograms into `polygon_hist` (groups = polygons,
+/// pre-sized by the caller; accumulates, does not clear).
+void aggregate_inside_tiles(Device& device,
+                            const PolygonTileGroups& inside,
+                            const HistogramSet& tile_hist,
+                            HistogramSet& polygon_hist);
+
+}  // namespace zh

@@ -1,0 +1,147 @@
+#include "core/step4_refine.hpp"
+
+#include <atomic>
+
+#include "geom/pip.hpp"
+
+namespace zh {
+
+namespace {
+
+/// Everything the per-cell test needs, shared by both granularities.
+struct RefineCtx {
+  const PolygonSoA* soa;
+  const DemRaster* raster;
+  const TilingScheme* tiling;
+  std::span<const CellValue> cells;
+  std::int64_t cols;
+  BinIndex bins;
+  std::optional<CellValue> nodata;
+  BinCount* polys;
+};
+
+struct LocalCounters {
+  std::uint64_t cell_tests = 0;
+  std::uint64_t edge_tests = 0;
+  std::uint64_t counted = 0;
+};
+
+/// Test every cell of tile `w` against polygon [p_f, p_t), updating the
+/// polygon's histogram row. `Update` injects plain or atomic adds.
+template <typename Update>
+void refine_tile(const RefineCtx& ctx, const BlockContext& block,
+                 const CellWindow& w, std::uint32_t p_f, std::uint32_t p_t,
+                 BinCount* out, LocalCounters& local, Update update) {
+  const double* x_v = ctx.soa->x_v().data();
+  const double* y_v = ctx.soa->y_v().data();
+  const GeoTransform& t = ctx.raster->transform();
+  const std::size_t n = static_cast<std::size_t>(w.cell_count());
+  block.strided(n, [&](std::size_t p) {
+    const std::int64_t r = w.row0 + static_cast<std::int64_t>(p) / w.cols;
+    const std::int64_t c = w.col0 + static_cast<std::int64_t>(p) % w.cols;
+    const GeoPoint center = t.cell_center(r, c);
+    ++local.cell_tests;
+    local.edge_tests += p_t - p_f;
+    if (point_in_polygon_soa_raw(x_v, y_v, p_f, p_t, center.x, center.y)) {
+      const CellValue v = ctx.cells[static_cast<std::size_t>(r * ctx.cols + c)];
+      if (ctx.nodata && v == *ctx.nodata) return;
+      const BinIndex b = v < ctx.bins ? v : ctx.bins - 1;
+      update(&out[b]);
+      ++local.counted;
+    }
+  });
+}
+
+}  // namespace
+
+RefineCounters refine_boundary_tiles(Device& device,
+                                     const PolygonTileGroups& intersect,
+                                     const PolygonSoA& soa,
+                                     const DemRaster& raster,
+                                     const TilingScheme& tiling,
+                                     HistogramSet& polygon_hist,
+                                     RefineGranularity granularity) {
+  RefineCounters counters;
+  if (intersect.pair_count() == 0) return counters;
+
+  RefineCtx ctx{&soa,
+                &raster,
+                &tiling,
+                raster.cells(),
+                raster.cols(),
+                polygon_hist.bins(),
+                raster.nodata(),
+                polygon_hist.flat().data()};
+
+  std::atomic<std::uint64_t> cell_tests{0};
+  std::atomic<std::uint64_t> edge_tests{0};
+  std::atomic<std::uint64_t> cells_counted{0};
+  auto flush = [&](const LocalCounters& local) {
+    cell_tests.fetch_add(local.cell_tests, std::memory_order_relaxed);
+    edge_tests.fetch_add(local.edge_tests, std::memory_order_relaxed);
+    cells_counted.fetch_add(local.counted, std::memory_order_relaxed);
+  };
+
+  switch (granularity) {
+    case RefineGranularity::kPolygonGroup:
+      // pip_test_kernel analog (Fig. 5 right): block idx -> (pid, num,
+      // pos); plain adds -- the block owns the polygon's output row.
+      device.launch_named(
+          "pip_test_kernel",
+          static_cast<std::uint32_t>(intersect.group_count()),
+          [&](const BlockContext& block) {
+            const std::size_t idx = block.block_id();
+            const PolygonId pid = intersect.pid_v[idx];
+            const std::uint32_t num = intersect.num_v[idx];
+            const std::uint32_t pos = intersect.pos_v[idx];
+            const auto [p_f, p_t] = soa.vertex_range(pid);
+            BinCount* out =
+                ctx.polys + static_cast<std::size_t>(pid) * ctx.bins;
+            LocalCounters local;
+            for (std::uint32_t k = 0; k < num; ++k) {
+              const CellWindow w =
+                  tiling.tile_window(intersect.tid_v[pos + k]);
+              refine_tile(ctx, block, w, p_f, p_t, out, local,
+                          [](BinCount* slot) { *slot += 1; });
+            }
+            flush(local);
+          });
+      break;
+
+    case RefineGranularity::kPolygonTile: {
+      // One block per (polygon, tile) pair. Blocks of the same polygon
+      // race on its histogram row, so updates are atomic -- the
+      // tradeoff for intra-step load balance.
+      std::vector<PolygonId> pair_pid(intersect.pair_count());
+      for (std::size_t g = 0; g < intersect.group_count(); ++g) {
+        for (std::uint32_t k = 0; k < intersect.num_v[g]; ++k) {
+          pair_pid[intersect.pos_v[g] + k] = intersect.pid_v[g];
+        }
+      }
+      device.launch_named(
+          "pip_test_kernel_pairwise",
+          static_cast<std::uint32_t>(intersect.pair_count()),
+          [&](const BlockContext& block) {
+            const std::size_t idx = block.block_id();
+            const PolygonId pid = pair_pid[idx];
+            const auto [p_f, p_t] = soa.vertex_range(pid);
+            BinCount* out =
+                ctx.polys + static_cast<std::size_t>(pid) * ctx.bins;
+            const CellWindow w =
+                tiling.tile_window(intersect.tid_v[idx]);
+            LocalCounters local;
+            refine_tile(ctx, block, w, p_f, p_t, out, local,
+                        [](BinCount* slot) { atomic_add(slot); });
+            flush(local);
+          });
+      break;
+    }
+  }
+
+  counters.cell_tests = cell_tests.load();
+  counters.edge_tests = edge_tests.load();
+  counters.cells_counted = cells_counted.load();
+  return counters;
+}
+
+}  // namespace zh

@@ -1,0 +1,57 @@
+// Step 4: cell-in-polygon refinement for boundary tiles (Sec. III.D,
+// Fig. 5).
+//
+// One device block per intersect polygon group. Threads stride over the
+// cell positions of a tile; for each of the group's tiles, each cell's
+// center goes through the ray-crossing test against the polygon's
+// flattened (SoA) vertex arrays, and hits update the polygon histogram.
+// Per-block exclusive ownership of the polygon's output row makes plain
+// (non-atomic) updates safe, as in Step 3.
+//
+// This step dominates end-to-end runtime in the paper (Table 2); its
+// cost is proportional to boundary-tile cells x polygon vertices, which
+// is what the tile-size ablation trades against Step 1.
+#pragma once
+
+#include <cstdint>
+
+#include "core/histogram.hpp"
+#include "core/step2_pairing.hpp"
+#include "device/device.hpp"
+#include "geom/soa.hpp"
+#include "grid/raster.hpp"
+#include "grid/tiling.hpp"
+
+namespace zh {
+
+/// Work counters from the refinement kernel (feed the performance model
+/// and the ablation benches).
+struct RefineCounters {
+  std::uint64_t cell_tests = 0;   ///< cell-in-polygon tests performed
+  std::uint64_t edge_tests = 0;   ///< ray-crossing edge evaluations
+  std::uint64_t cells_counted = 0;  ///< cells found inside
+};
+
+/// Block-scheduling granularity of the refinement kernel.
+///
+/// kPolygonGroup is the paper's Fig.-5 kernel: one block per polygon,
+/// looping its boundary tiles -- no atomics (each block owns its output
+/// row), but a polygon with many boundary tiles serializes inside one
+/// block, the intra-step imbalance behind the paper's Sec.-IV.C
+/// observations. kPolygonTile launches one block per (polygon, tile)
+/// pair: finer, self-balancing, at the cost of atomic histogram updates
+/// (several blocks share a polygon's row). Results are identical.
+enum class RefineGranularity : std::uint8_t {
+  kPolygonGroup,
+  kPolygonTile,
+};
+
+/// Run cell-in-polygon tests for every (cell, polygon) combination in the
+/// intersect groups, accumulating hits into `polygon_hist`.
+RefineCounters refine_boundary_tiles(
+    Device& device, const PolygonTileGroups& intersect,
+    const PolygonSoA& soa, const DemRaster& raster,
+    const TilingScheme& tiling, HistogramSet& polygon_hist,
+    RefineGranularity granularity = RefineGranularity::kPolygonGroup);
+
+}  // namespace zh

@@ -1,0 +1,149 @@
+#include "core/zonal_stats_op.hpp"
+
+#include <algorithm>
+
+#include "core/step2_pairing.hpp"
+#include "device/thread_pool.hpp"
+#include "geom/pip.hpp"
+#include "geom/soa.hpp"
+
+namespace zh {
+
+std::vector<ZonalStats> zonal_statistics(Device& device,
+                                         const DemRaster& raster,
+                                         const PolygonSet& polygons,
+                                         std::int64_t tile_size) {
+  ZH_REQUIRE(tile_size >= 1, "tile size must be positive");
+  const TilingScheme tiling(raster.rows(), raster.cols(), tile_size);
+  const std::optional<CellValue> nodata = raster.nodata();
+  const std::span<const CellValue> cells = raster.cells();
+  const std::int64_t cols = raster.cols();
+
+  // Step 1': per-tile accumulators (tiles x 40 B -- no bins dimension).
+  std::vector<StatsAccumulator> tile_stats(tiling.tile_count());
+  device.launch(static_cast<std::uint32_t>(tiling.tile_count()),
+                [&](const BlockContext& ctx) {
+                  const TileId tile = ctx.block_id();
+                  const CellWindow w = tiling.tile_window(tile);
+                  StatsAccumulator acc;
+                  ctx.strided(static_cast<std::size_t>(w.cell_count()),
+                              [&](std::size_t p) {
+                                const std::int64_t r =
+                                    w.row0 +
+                                    static_cast<std::int64_t>(p) / w.cols;
+                                const std::int64_t c =
+                                    w.col0 +
+                                    static_cast<std::int64_t>(p) % w.cols;
+                                const CellValue v = cells
+                                    [static_cast<std::size_t>(r * cols + c)];
+                                if (nodata && v == *nodata) return;
+                                acc.add(v);
+                              });
+                  tile_stats[tile] = acc;
+                });
+
+  // Step 2: identical spatial filter.
+  const PairingResult pairing =
+      pair_and_group(polygons, tiling, raster.transform());
+
+  std::vector<StatsAccumulator> zone_stats(polygons.size());
+
+  // Step 3': merge inside-tile accumulators per zone.
+  device.launch(
+      static_cast<std::uint32_t>(pairing.inside.group_count()),
+      [&](const BlockContext& ctx) {
+        const std::size_t idx = ctx.block_id();
+        const PolygonId pid = pairing.inside.pid_v[idx];
+        StatsAccumulator acc;
+        const std::uint32_t pos = pairing.inside.pos_v[idx];
+        for (std::uint32_t i = 0; i < pairing.inside.num_v[idx]; ++i) {
+          acc.merge(tile_stats[pairing.inside.tid_v[pos + i]]);
+        }
+        zone_stats[pid].merge(acc);
+      });
+
+  // Step 4': boundary cells through PIP into per-zone accumulators.
+  const PolygonSoA soa = PolygonSoA::build(polygons);
+  device.launch(
+      static_cast<std::uint32_t>(pairing.intersect.group_count()),
+      [&](const BlockContext& ctx) {
+        const std::size_t idx = ctx.block_id();
+        const PolygonId pid = pairing.intersect.pid_v[idx];
+        const auto [p_f, p_t] = soa.vertex_range(pid);
+        StatsAccumulator acc;
+        const std::uint32_t pos = pairing.intersect.pos_v[idx];
+        for (std::uint32_t k = 0; k < pairing.intersect.num_v[idx]; ++k) {
+          const CellWindow w =
+              tiling.tile_window(pairing.intersect.tid_v[pos + k]);
+          ctx.strided(
+              static_cast<std::size_t>(w.cell_count()),
+              [&](std::size_t p) {
+                const std::int64_t r =
+                    w.row0 + static_cast<std::int64_t>(p) / w.cols;
+                const std::int64_t c =
+                    w.col0 + static_cast<std::int64_t>(p) % w.cols;
+                const GeoPoint center =
+                    raster.transform().cell_center(r, c);
+                if (!point_in_polygon_soa_raw(soa.x_v().data(),
+                                              soa.y_v().data(), p_f, p_t,
+                                              center.x, center.y)) {
+                  return;
+                }
+                const CellValue v =
+                    cells[static_cast<std::size_t>(r * cols + c)];
+                if (nodata && v == *nodata) return;
+                acc.add(v);
+              });
+        }
+        zone_stats[pid].merge(acc);
+      });
+
+  std::vector<ZonalStats> out(polygons.size());
+  for (std::size_t i = 0; i < polygons.size(); ++i) {
+    out[i] = zone_stats[i].finalize();
+  }
+  return out;
+}
+
+std::vector<ZonalStats> zonal_statistics_reference(
+    const DemRaster& raster, const PolygonSet& polygons) {
+  std::vector<ZonalStats> out(polygons.size());
+  if (raster.cell_count() == 0) return out;
+  const GeoTransform& t = raster.transform();
+  const GeoBox raster_ext = raster.extent();
+  const std::optional<CellValue> nodata = raster.nodata();
+
+  ThreadPool::global().parallel_for(
+      polygons.size(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const Polygon& poly = polygons[static_cast<PolygonId>(i)];
+          const GeoBox mbr = poly.mbr();
+          if (!raster_ext.intersects(mbr)) continue;
+          StatsAccumulator acc;
+          const std::int64_t r0 =
+              std::clamp<std::int64_t>(t.y_to_row(mbr.max_y), 0,
+                                       raster.rows() - 1);
+          const std::int64_t r1 =
+              std::clamp<std::int64_t>(t.y_to_row(mbr.min_y), 0,
+                                       raster.rows() - 1);
+          const std::int64_t c0 =
+              std::clamp<std::int64_t>(t.x_to_col(mbr.min_x), 0,
+                                       raster.cols() - 1);
+          const std::int64_t c1 =
+              std::clamp<std::int64_t>(t.x_to_col(mbr.max_x), 0,
+                                       raster.cols() - 1);
+          for (std::int64_t r = r0; r <= r1; ++r) {
+            for (std::int64_t c = c0; c <= c1; ++c) {
+              if (!point_in_polygon(poly, t.cell_center(r, c))) continue;
+              const CellValue v = raster.at(r, c);
+              if (nodata && v == *nodata) continue;
+              acc.add(v);
+            }
+          }
+          out[i] = acc.finalize();
+        }
+      });
+  return out;
+}
+
+}  // namespace zh

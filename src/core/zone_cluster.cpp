@@ -1,0 +1,129 @@
+#include "core/zone_cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "device/thread_pool.hpp"
+
+namespace zh {
+
+double histogram_distance(std::span<const BinCount> a,
+                          std::span<const BinCount> b, bool normalize) {
+  ZH_REQUIRE(a.size() == b.size(), "histogram length mismatch");
+  if (!normalize) {
+    return static_cast<double>(histogram_l1_distance(a, b));
+  }
+  double ta = 0.0;
+  double tb = 0.0;
+  for (const BinCount v : a) ta += v;
+  for (const BinCount v : b) tb += v;
+  const double sa = ta > 0.0 ? 1.0 / ta : 0.0;
+  const double sb = tb > 0.0 ? 1.0 / tb : 0.0;
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d += std::abs(a[i] * sa - b[i] * sb);
+  }
+  return d;
+}
+
+ZoneClustering cluster_zones(const HistogramSet& histograms,
+                             const ZoneClusterConfig& config) {
+  const std::size_t n = histograms.groups();
+  ZH_REQUIRE(config.k >= 1, "need at least one cluster");
+  ZH_REQUIRE(config.k <= n, "more clusters than zones");
+  const std::uint32_t k = config.k;
+
+  auto dist = [&](std::size_t a, std::size_t b) {
+    return histogram_distance(histograms.of(a), histograms.of(b),
+                              config.normalize);
+  };
+
+  ZoneClustering out;
+  out.assignment.assign(n, 0);
+
+  // Farthest-first initialization: medoid 0 is zone 0; each next medoid
+  // is the zone farthest from its nearest existing medoid. Deterministic
+  // and well-spread.
+  out.medoids.push_back(0);
+  std::vector<double> nearest(n, std::numeric_limits<double>::infinity());
+  std::vector<bool> chosen(n, false);
+  chosen[0] = true;
+  while (out.medoids.size() < k) {
+    const std::uint32_t last = out.medoids.back();
+    ThreadPool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        nearest[i] = std::min(nearest[i], dist(i, last));
+      }
+    });
+    // Farthest unchosen zone; ties (e.g. duplicate histograms, where
+    // every distance is 0) fall back to the first unchosen zone so the
+    // k medoids are always distinct zones.
+    std::size_t farthest = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (chosen[i]) continue;
+      if (farthest == n || nearest[i] > nearest[farthest]) farthest = i;
+    }
+    ZH_REQUIRE(farthest < n, "fewer distinct zones than clusters");
+    chosen[farthest] = true;
+    out.medoids.push_back(static_cast<std::uint32_t>(farthest));
+  }
+
+  // Alternate assignment and medoid update until stable.
+  for (out.iterations = 0; out.iterations < config.max_iterations;
+       ++out.iterations) {
+    // Assignment step.
+    bool changed = false;
+    out.total_cost = 0.0;
+    std::vector<double> costs(n, 0.0);
+    std::vector<std::uint32_t> next(n, 0);
+    ThreadPool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        std::uint32_t best_c = 0;
+        for (std::uint32_t c = 0; c < k; ++c) {
+          const double d = dist(i, out.medoids[c]);
+          if (d < best) {
+            best = d;
+            best_c = c;
+          }
+        }
+        next[i] = best_c;
+        costs[i] = best;
+      }
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      changed |= next[i] != out.assignment[i];
+      out.total_cost += costs[i];
+    }
+    out.assignment = std::move(next);
+    if (!changed && out.iterations > 0) break;
+
+    // Medoid update: within each cluster pick the member minimizing the
+    // summed distance to the other members.
+    bool medoid_moved = false;
+    for (std::uint32_t c = 0; c < k; ++c) {
+      std::vector<std::size_t> members;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (out.assignment[i] == c) members.push_back(i);
+      }
+      if (members.empty()) continue;
+      double best_sum = std::numeric_limits<double>::infinity();
+      std::size_t best_m = out.medoids[c];
+      for (const std::size_t cand : members) {
+        double sum = 0.0;
+        for (const std::size_t other : members) sum += dist(cand, other);
+        if (sum < best_sum) {
+          best_sum = sum;
+          best_m = cand;
+        }
+      }
+      medoid_moved |= best_m != out.medoids[c];
+      out.medoids[c] = static_cast<std::uint32_t>(best_m);
+    }
+    if (!medoid_moved && !changed) break;
+  }
+  return out;
+}
+
+}  // namespace zh

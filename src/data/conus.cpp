@@ -1,0 +1,79 @@
+#include "data/conus.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace zh::conus {
+
+const std::vector<RasterSpec>& table1() {
+  // Tops aligned at 50N, blocks laid west to east; ragged southern edge
+  // (the real CONUS coverage is ragged too -- the paper calls out
+  // southern-Florida edge tiles as a load-imbalance source).
+  static const std::vector<RasterSpec> specs = {
+      {"srtm_conus_1", 14, 12, 1, 2, -125.0, 50.0},
+      {"srtm_conus_2", 14, 12, 2, 1, -113.0, 50.0},
+      {"srtm_conus_3", 12, 12, 2, 2, -101.0, 50.0},
+      {"srtm_conus_4", 10, 12, 2, 2, -89.0, 50.0},
+      {"srtm_conus_5", 13, 20, 4, 4, -77.0, 50.0},
+      {"srtm_conus_6", 24, 29, 2, 4, -57.0, 50.0},
+  };
+  return specs;
+}
+
+std::int64_t total_cells(int scale_divisor) {
+  std::int64_t n = 0;
+  for (const RasterSpec& s : table1()) n += s.cells_at(scale_divisor);
+  return n;
+}
+
+int total_partitions() {
+  int n = 0;
+  for (const RasterSpec& s : table1()) n += s.partitions();
+  return n;
+}
+
+GeoBox full_extent() {
+  GeoBox box = table1().front().extent();
+  for (const RasterSpec& s : table1()) {
+    const GeoBox b = s.extent();
+    box.expand({b.min_x, b.min_y});
+    box.expand({b.max_x, b.max_y});
+  }
+  return box;
+}
+
+std::int64_t tile_size_cells(int scale_divisor) {
+  ZH_REQUIRE(3600 % scale_divisor == 0,
+             "scale divisor must divide 3600 (cells/degree)");
+  const std::int64_t t = 360 / scale_divisor;
+  ZH_REQUIRE(t >= 1, "scale divisor too large: 0.1-degree tile underflows");
+  return t;
+}
+
+DemRaster generate_raster(const RasterSpec& spec, int scale_divisor,
+                          const DemParams& dem) {
+  ZH_REQUIRE(3600 % scale_divisor == 0,
+             "scale divisor must divide 3600 (cells/degree)");
+  return generate_dem(spec.rows_at(scale_divisor),
+                      spec.cols_at(scale_divisor),
+                      spec.transform_at(scale_divisor), dem);
+}
+
+PolygonSet generate_county_layer(int zones, std::uint64_t seed) {
+  ZH_REQUIRE(zones >= 1, "need at least one zone");
+  const GeoBox extent = full_extent();
+  // Factor `zones` into a grid with roughly the extent's aspect ratio.
+  const double aspect = extent.width() / extent.height();
+  int gy = std::max(1, static_cast<int>(std::lround(
+                           std::sqrt(static_cast<double>(zones) / aspect))));
+  int gx = std::max(1, (zones + gy - 1) / gy);
+  CountyParams params;
+  params.seed = seed;
+  params.grid_x = gx;
+  params.grid_y = gy;
+  params.hole_every = 10;
+  return generate_counties(extent, params);
+}
+
+}  // namespace zh::conus

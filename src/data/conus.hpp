@@ -1,0 +1,95 @@
+// The Table-1 CONUS dataset descriptor.
+//
+// Table 1 of the paper lists the six SRTM rasters covering the
+// Continental United States, their dimensions, and the partition schema
+// used to spread them over 36 cluster partitions; totals: 6 rasters,
+// 36 partitions, 20,165,760,000 cells. Several dimension digits are
+// illegible in the available copy of the paper, so the per-raster
+// dimensions below are *reconstructed*: whole-degree SRTM block sizes
+// (3600 cells/degree) chosen to match every legible digit group and to
+// reproduce the published totals exactly (sum of degree-areas = 1556
+// sq deg -> 1556 * 3600^2 = 20,165,760,000 cells; partitions
+// 2+2+4+4+16+8 = 36).
+//
+// A scale divisor S maps the descriptor to experiment-sized data: cell
+// resolution becomes 3600/S per degree, preserving the geographic layout
+// and partition schema while shrinking cell counts by S^2. S=1 is the
+// paper's full-size dataset (bookkeeping only -- 40 GB of cells); the
+// benches default to S=30 (~22.4 M cells).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "data/county_synth.hpp"
+#include "data/dem_synth.hpp"
+#include "grid/geotransform.hpp"
+#include "grid/raster.hpp"
+
+namespace zh::conus {
+
+/// One raster of Table 1.
+struct RasterSpec {
+  std::string name;
+  int deg_rows;      ///< north-south extent, degrees
+  int deg_cols;      ///< east-west extent, degrees
+  int part_rows;     ///< partition grid (Table 1 "partition schema")
+  int part_cols;
+  double origin_x;   ///< west edge, degrees lon
+  double origin_y;   ///< north edge, degrees lat
+
+  [[nodiscard]] int partitions() const { return part_rows * part_cols; }
+
+  /// Cell dimensions at scale divisor S (cells/deg = 3600/S).
+  [[nodiscard]] std::int64_t rows_at(int scale_divisor) const {
+    return static_cast<std::int64_t>(deg_rows) * (3600 / scale_divisor);
+  }
+  [[nodiscard]] std::int64_t cols_at(int scale_divisor) const {
+    return static_cast<std::int64_t>(deg_cols) * (3600 / scale_divisor);
+  }
+  [[nodiscard]] std::int64_t cells_at(int scale_divisor) const {
+    return rows_at(scale_divisor) * cols_at(scale_divisor);
+  }
+
+  [[nodiscard]] GeoTransform transform_at(int scale_divisor) const {
+    const double cell = static_cast<double>(scale_divisor) / 3600.0;
+    return GeoTransform(origin_x, origin_y, cell, cell);
+  }
+  [[nodiscard]] GeoBox extent() const {
+    return GeoBox{origin_x, origin_y - deg_rows,
+                  origin_x + deg_cols, origin_y};
+  }
+};
+
+/// The six Table-1 rasters (geographic layout synthetic: adjacent
+/// non-overlapping blocks in CONUS-range coordinates).
+[[nodiscard]] const std::vector<RasterSpec>& table1();
+
+/// Sum of cells over all rasters at scale S (S=1: 20,165,760,000).
+[[nodiscard]] std::int64_t total_cells(int scale_divisor = 1);
+
+/// Total partition count (36).
+[[nodiscard]] int total_partitions();
+
+/// Union extent of all six rasters.
+[[nodiscard]] GeoBox full_extent();
+
+/// Paper-matching analysis parameters: 0.1-degree tiles and 5000 bins.
+/// tile_size_cells(S) = 360/S.
+[[nodiscard]] std::int64_t tile_size_cells(int scale_divisor);
+inline constexpr BinIndex kHistogramBins = 5000;
+
+/// Generate the DEM for one raster spec at scale S. Elevation is a pure
+/// function of geography, so adjacent rasters agree along borders.
+[[nodiscard]] DemRaster generate_raster(const RasterSpec& spec,
+                                        int scale_divisor,
+                                        const DemParams& dem = {});
+
+/// Generate a county layer over the full CONUS extent with roughly
+/// `zones` polygons (multi-ring every 10th zone).
+[[nodiscard]] PolygonSet generate_county_layer(int zones,
+                                               std::uint64_t seed = 7);
+
+}  // namespace zh::conus

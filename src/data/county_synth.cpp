@@ -1,0 +1,214 @@
+#include "data/county_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace zh {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [-1, 1) from a hash.
+double signed_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+double snap(double v, double quantum) {
+  return quantum > 0.0 ? std::round(v / quantum) * quantum : v;
+}
+
+/// Sutherland-Hodgman clip of a convex polygon by the half-plane of
+/// points closer to `a` than to `b` (the perpendicular bisector).
+std::vector<GeoPoint> clip_closer_to(const std::vector<GeoPoint>& poly,
+                                     const GeoPoint& a, const GeoPoint& b) {
+  // Half-plane: n . p <= c with n = b - a, c = n . midpoint.
+  const double nx = b.x - a.x;
+  const double ny = b.y - a.y;
+  const double c = nx * (a.x + b.x) / 2.0 + ny * (a.y + b.y) / 2.0;
+  auto side = [&](const GeoPoint& p) { return nx * p.x + ny * p.y - c; };
+
+  std::vector<GeoPoint> out;
+  const std::size_t n = poly.size();
+  out.reserve(n + 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const GeoPoint& p = poly[i];
+    const GeoPoint& q = poly[(i + 1) % n];
+    const double sp = side(p);
+    const double sq = side(q);
+    if (sp <= 0.0) out.push_back(p);
+    if ((sp < 0.0 && sq > 0.0) || (sp > 0.0 && sq < 0.0)) {
+      const double t = sp / (sp - sq);
+      out.push_back({p.x + t * (q.x - p.x), p.y + t * (q.y - p.y)});
+    }
+  }
+  return out;
+}
+
+/// Deterministic fractal midpoint displacement of edge a->b, writing the
+/// interior vertices (exclusive of a and b, which the caller owns) into
+/// `out`. Symmetric: displacing b->a yields the reversed vertex list, so
+/// two zones sharing the edge stay stitched together.
+void displace_edge(const GeoPoint& a, const GeoPoint& b, int depth,
+                   double amp, std::uint64_t seed, double quantum,
+                   const GeoBox& extent, std::vector<GeoPoint>& out) {
+  if (depth == 0) return;
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len = std::hypot(dx, dy);
+  if (len < 8.0 * quantum) return;  // too short to subdivide stably
+
+  // Canonical orientation: hash and perpendicular both computed on the
+  // lexicographically ordered endpoint pair.
+  const bool fwd = (a.x < b.x) || (a.x == b.x && a.y < b.y);
+  const GeoPoint& lo = fwd ? a : b;
+  const GeoPoint& hi = fwd ? b : a;
+  const auto qx0 = static_cast<std::int64_t>(std::llround(lo.x / quantum));
+  const auto qy0 = static_cast<std::int64_t>(std::llround(lo.y / quantum));
+  const auto qx1 = static_cast<std::int64_t>(std::llround(hi.x / quantum));
+  const auto qy1 = static_cast<std::int64_t>(std::llround(hi.y / quantum));
+  const std::uint64_t h =
+      mix64(static_cast<std::uint64_t>(qx0) * 0x9ddfea08eb382d69ull ^
+            mix64(static_cast<std::uint64_t>(qy0) ^
+                  mix64(static_cast<std::uint64_t>(qx1) ^
+                        mix64(static_cast<std::uint64_t>(qy1) ^ seed))));
+
+  // Perpendicular of the canonical direction; same absolute midpoint from
+  // both traversal directions.
+  const double px = -(hi.y - lo.y) / len;
+  const double py = (hi.x - lo.x) / len;
+  const double d = signed_unit(h) * amp * len;
+  // Clamp into the extent so zones near the boundary cannot bulge out;
+  // the clamp is a pure function of the midpoint, so both zones sharing
+  // the edge stay stitched.
+  GeoPoint mid{
+      snap(std::clamp((lo.x + hi.x) / 2.0 + px * d, extent.min_x,
+                      extent.max_x),
+           quantum),
+      snap(std::clamp((lo.y + hi.y) / 2.0 + py * d, extent.min_y,
+                      extent.max_y),
+           quantum)};
+
+  displace_edge(a, mid, depth - 1, amp, seed, quantum, extent, out);
+  out.push_back(mid);
+  displace_edge(mid, b, depth - 1, amp, seed, quantum, extent, out);
+}
+
+}  // namespace
+
+PolygonSet generate_counties(const GeoBox& extent,
+                             const CountyParams& params) {
+  ZH_REQUIRE(params.grid_x > 0 && params.grid_y > 0,
+             "zone grid must be non-empty");
+  ZH_REQUIRE(params.jitter >= 0.0 && params.jitter < 0.5,
+             "jitter must be in [0, 0.5) for 2-ring Voronoi correctness");
+  const int gx = params.grid_x;
+  const int gy = params.grid_y;
+  const double sx = extent.width() / gx;
+  const double sy = extent.height() / gy;
+  ZH_REQUIRE(sx > 0.0 && sy > 0.0, "extent must have positive area");
+
+  // Jittered seed lattice.
+  std::vector<GeoPoint> seeds(static_cast<std::size_t>(gx) * gy);
+  for (int j = 0; j < gy; ++j) {
+    for (int i = 0; i < gx; ++i) {
+      const std::uint64_t h =
+          mix64((static_cast<std::uint64_t>(i) << 32) ^
+                static_cast<std::uint64_t>(j) ^ mix64(params.seed));
+      const double jx = signed_unit(h) * params.jitter;
+      const double jy = signed_unit(mix64(h)) * params.jitter;
+      seeds[static_cast<std::size_t>(j) * gx + i] = {
+          extent.min_x + (i + 0.5 + jx) * sx,
+          extent.min_y + (j + 0.5 + jy) * sy};
+    }
+  }
+
+  PolygonSet set;
+  for (int j = 0; j < gy; ++j) {
+    for (int i = 0; i < gx; ++i) {
+      const GeoPoint& seed = seeds[static_cast<std::size_t>(j) * gx + i];
+
+      // Start from the extent rectangle, clip against the bisectors of
+      // the 2-ring neighborhood (sufficient for jitter < 0.5).
+      std::vector<GeoPoint> cell = {{extent.min_x, extent.min_y},
+                                    {extent.max_x, extent.min_y},
+                                    {extent.max_x, extent.max_y},
+                                    {extent.min_x, extent.max_y}};
+      for (int dj = -2; dj <= 2 && !cell.empty(); ++dj) {
+        for (int di = -2; di <= 2 && !cell.empty(); ++di) {
+          if (di == 0 && dj == 0) continue;
+          const int ni = i + di;
+          const int nj = j + dj;
+          if (ni < 0 || ni >= gx || nj < 0 || nj >= gy) continue;
+          cell = clip_closer_to(
+              cell, seed, seeds[static_cast<std::size_t>(nj) * gx + ni]);
+        }
+      }
+      ZH_REQUIRE(cell.size() >= 3, "degenerate Voronoi cell at (", i, ",",
+                 j, ")");
+
+      // Snap the convex cell's vertices, then displace each edge.
+      for (GeoPoint& p : cell) {
+        p.x = snap(p.x, params.snap_quantum);
+        p.y = snap(p.y, params.snap_quantum);
+      }
+      // Edges lying on the extent rectangle stay straight: displacing
+      // them would push boundary zones outside the extent (and leave
+      // uncovered strips along it).
+      const double eps = 2.0 * params.snap_quantum;
+      auto on_extent_edge = [&](const GeoPoint& a, const GeoPoint& b) {
+        return (std::abs(a.x - extent.min_x) < eps &&
+                std::abs(b.x - extent.min_x) < eps) ||
+               (std::abs(a.x - extent.max_x) < eps &&
+                std::abs(b.x - extent.max_x) < eps) ||
+               (std::abs(a.y - extent.min_y) < eps &&
+                std::abs(b.y - extent.min_y) < eps) ||
+               (std::abs(a.y - extent.max_y) < eps &&
+                std::abs(b.y - extent.max_y) < eps);
+      };
+
+      Ring ring;
+      const std::size_t n = cell.size();
+      for (std::size_t k = 0; k < n; ++k) {
+        const GeoPoint& a = cell[k];
+        const GeoPoint& b = cell[(k + 1) % n];
+        ring.push_back(a);
+        if (!on_extent_edge(a, b)) {
+          displace_edge(a, b, params.displace_depth, params.displace_amp,
+                        params.seed, params.snap_quantum, extent, ring);
+        }
+      }
+
+      Polygon poly({ring});
+
+      // Optional hole (diamond around the seed), making the zone
+      // multi-ring. Kept small relative to the grid spacing so it stays
+      // strictly interior even after edge displacement.
+      const int zone_index = j * gx + i;
+      if (params.hole_every > 0 &&
+          (zone_index % params.hole_every) == params.hole_every - 1) {
+        const double r = 0.12 * std::min(sx, sy);
+        poly.add_ring(Ring{{seed.x + r, seed.y},
+                           {seed.x, seed.y + r},
+                           {seed.x - r, seed.y},
+                           {seed.x, seed.y - r}});
+      }
+
+      std::ostringstream name;
+      name << "Z" << zone_index;
+      set.add(std::move(poly), name.str());
+    }
+  }
+  return set;
+}
+
+}  // namespace zh

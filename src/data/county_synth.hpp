@@ -1,0 +1,37 @@
+// Synthetic zone-polygon generation.
+//
+// Stands in for the US county boundary layer of the paper (3k+ polygons,
+// 87,097 vertices, multi-ring). The generator tessellates an extent into
+// K space-filling zones: seeds on a jittered grid, zone shapes as Voronoi
+// cells obtained by half-plane clipping, then fractal midpoint
+// displacement of the edges to give county-like irregular boundaries.
+// Shared edges are displaced identically from both sides (the
+// displacement is a function of the canonical edge endpoints only), so
+// the tessellation remains gap- and overlap-free up to floating-point
+// snapping. Optionally every Nth polygon receives a hole (ring 2),
+// exercising the paper's multi-ring handling.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/polygon.hpp"
+#include "grid/geotransform.hpp"
+
+namespace zh {
+
+struct CountyParams {
+  std::uint64_t seed = 7;
+  int grid_x = 10;            ///< seed columns (zones ~= grid_x * grid_y)
+  int grid_y = 8;             ///< seed rows
+  double jitter = 0.45;       ///< seed jitter, fraction of grid spacing
+  int displace_depth = 3;     ///< midpoint-displacement recursion depth
+  double displace_amp = 0.18; ///< displacement, fraction of edge length
+  int hole_every = 0;         ///< 0 = no holes; else every Nth zone gets one
+  double snap_quantum = 1e-6; ///< vertex snap grid (shared-edge exactness)
+};
+
+/// Tessellate `extent` into grid_x*grid_y irregular zone polygons.
+[[nodiscard]] PolygonSet generate_counties(const GeoBox& extent,
+                                           const CountyParams& params = {});
+
+}  // namespace zh

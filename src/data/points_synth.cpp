@@ -1,0 +1,62 @@
+#include "data/points_synth.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "common/error.hpp"
+
+namespace zh {
+
+PointSet generate_points(const GeoBox& extent, const PointParams& params) {
+  ZH_REQUIRE(extent.width() > 0 && extent.height() > 0,
+             "extent must have positive area");
+  std::mt19937_64 rng(params.seed);
+  // Keep a hair inside the extent so every point bins into a tile.
+  const double margin = 1e-9 * std::max(extent.width(), extent.height());
+  std::uniform_real_distribution<double> ux(extent.min_x + margin,
+                                            extent.max_x - margin);
+  std::uniform_real_distribution<double> uy(extent.min_y + margin,
+                                            extent.max_y - margin);
+  std::uniform_real_distribution<double> uw(1.0, 100.0);
+
+  PointSet points;
+  points.x.reserve(params.count);
+  points.y.reserve(params.count);
+  if (params.weighted) points.weight.reserve(params.count);
+
+  std::vector<GeoPoint> centers;
+  if (params.clusters > 0) {
+    centers.reserve(static_cast<std::size_t>(params.clusters));
+    for (int i = 0; i < params.clusters; ++i) {
+      centers.push_back({ux(rng), uy(rng)});
+    }
+  }
+  std::normal_distribution<double> gx(0.0,
+                                      params.cluster_sigma * extent.width());
+  std::normal_distribution<double> gy(
+      0.0, params.cluster_sigma * extent.height());
+  std::uniform_int_distribution<std::size_t> pick(
+      0, centers.empty() ? 0 : centers.size() - 1);
+
+  for (std::size_t i = 0; i < params.count; ++i) {
+    double px;
+    double py;
+    if (centers.empty()) {
+      px = ux(rng);
+      py = uy(rng);
+    } else {
+      // Rejection-free: clamp hotspot samples back into the extent.
+      const GeoPoint& c = centers[pick(rng)];
+      px = std::clamp(c.x + gx(rng), extent.min_x + margin,
+                      extent.max_x - margin);
+      py = std::clamp(c.y + gy(rng), extent.min_y + margin,
+                      extent.max_y - margin);
+    }
+    points.x.push_back(px);
+    points.y.push_back(py);
+    if (params.weighted) points.weight.push_back(uw(rng));
+  }
+  return points;
+}
+
+}  // namespace zh

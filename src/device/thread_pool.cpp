@@ -1,0 +1,138 @@
+#include "device/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace zh {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Shared state of one parallel_for batch. Workers and the calling thread
+// cooperatively claim chunks via `next`; the call returns when `active`
+// drops to zero. Held by shared_ptr because helper tasks posted to the
+// pool may still be scheduled (and immediately find no chunks) after the
+// calling thread has returned.
+struct ForBatch {
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> active{0};  // chunks claimed but not finished
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  // Claim and run chunks until none remain. Returns when this thread can
+  // make no further progress on the batch.
+  void drain() {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(n, begin + chunk);
+      active.fetch_add(1, std::memory_order_acq_rel);
+      try {
+        if (!failed.load(std::memory_order_relaxed)) (*body)(begin, end);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+      active.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+
+  // Chunk so each worker sees several chunks (load balancing for uneven
+  // work, e.g. boundary tiles with heavier Step-4 cost), bounded below by
+  // the grain.
+  const std::size_t target_chunks = std::max<std::size_t>(1, size() * 4);
+  std::size_t chunk = std::max(grain, div_up_local(n, target_chunks));
+  if (chunk >= n) {
+    body(0, n);
+    return;
+  }
+
+  auto batch = std::make_shared<ForBatch>();
+  batch->n = n;
+  batch->chunk = chunk;
+  batch->body = &body;
+
+  // One helper per worker; each drains chunks then exits. The calling
+  // thread participates too, so parallel_for never deadlocks even when
+  // invoked from inside a pool task (all workers busy).
+  const std::size_t helpers = size();
+  for (std::size_t i = 0; i < helpers; ++i) {
+    post([batch] { batch->drain(); });
+  }
+  batch->drain();
+
+  // All chunks are claimed once drain() returns on this thread; spin-wait
+  // (with yield) for in-flight chunks owned by helpers to complete.
+  while (batch->active.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+std::size_t ThreadPool::div_up_local(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool& pool = *new ThreadPool();  // leak: outlive all statics
+  return pool;
+}
+
+}  // namespace zh

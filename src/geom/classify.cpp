@@ -1,0 +1,65 @@
+#include "geom/classify.hpp"
+
+#include <algorithm>
+
+#include "geom/pip.hpp"
+
+namespace zh {
+
+bool segment_intersects_box(const GeoPoint& a, const GeoPoint& b,
+                            const GeoBox& box) {
+  // Trivial accept: an endpoint inside the box.
+  if (box.contains(a) || box.contains(b)) return true;
+
+  // Liang-Barsky clipping of the parametric segment a + t(b-a), t in
+  // [0,1], against the box slabs; non-empty t-interval means overlap.
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  double t0 = 0.0;
+  double t1 = 1.0;
+
+  auto clip = [&](double p, double q) {
+    // Half-plane p*t <= q.
+    if (p == 0.0) return q >= 0.0;  // parallel: inside iff q >= 0
+    const double r = q / p;
+    if (p < 0.0) {
+      if (r > t1) return false;
+      if (r > t0) t0 = r;
+    } else {
+      if (r < t0) return false;
+      if (r < t1) t1 = r;
+    }
+    return true;
+  };
+
+  return clip(-dx, a.x - box.min_x) && clip(dx, box.max_x - a.x) &&
+         clip(-dy, a.y - box.min_y) && clip(dy, box.max_y - a.y);
+}
+
+TileRelation classify_box(const Polygon& poly, const GeoBox& box) {
+  return classify_box(poly, poly.mbr(), box);
+}
+
+TileRelation classify_box(const Polygon& poly, const GeoBox& poly_mbr,
+                          const GeoBox& box) {
+  if (!poly_mbr.intersects(box)) return TileRelation::kOutside;
+
+  // Any boundary edge touching the box makes the tile a boundary tile.
+  for (const Ring& r : poly.rings()) {
+    const std::size_t n = r.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const GeoPoint& a = r[i];
+      const GeoPoint& b = r[(i + 1) % n];
+      if (segment_intersects_box(a, b, box)) return TileRelation::kIntersect;
+    }
+  }
+
+  // No edge crosses the box, so the box lies entirely on one side of the
+  // boundary; one interior point decides which.
+  const GeoPoint center{(box.min_x + box.max_x) / 2.0,
+                        (box.min_y + box.max_y) / 2.0};
+  return point_in_polygon(poly, center) ? TileRelation::kInside
+                                        : TileRelation::kOutside;
+}
+
+}  // namespace zh

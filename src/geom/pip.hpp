@@ -1,0 +1,45 @@
+// Point-in-polygon tests.
+//
+// The workhorse is Randolph Franklin's ray-crossing test (the paper's
+// Sec. III.D / Fig. 5): a point is inside if a horizontal ray crosses the
+// boundary an odd number of times. Two implementations are provided:
+//   * object form over Polygon (per-ring, parity across rings) -- the CPU
+//     reference used by baselines and tests;
+//   * SoA form over PolygonSoA implementing the Fig. 5 kernel inner loop
+//     verbatim, including the (0,0) ring-separator skip -- the form the
+//     Step-4 device kernel executes.
+// A winding-number implementation is included for cross-validation (the
+// two agree for points not exactly on a boundary).
+#pragma once
+
+#include "common/types.hpp"
+#include "geom/polygon.hpp"
+#include "geom/soa.hpp"
+
+namespace zh {
+
+/// Ray-crossing test against a single ring (implicitly closed).
+[[nodiscard]] bool point_in_ring(const Ring& ring, const GeoPoint& p);
+
+/// Even-odd test against all rings of `poly`: holes subtract, disjoint
+/// parts add, matching the paper's multi-ring semantics.
+[[nodiscard]] bool point_in_polygon(const Polygon& poly, const GeoPoint& p);
+
+/// Winding number of `poly` around `p` summed over rings (0 = outside for
+/// simple polygons). For cross-validation only; prefer the parity tests.
+[[nodiscard]] int winding_number(const Polygon& poly, const GeoPoint& p);
+
+/// Fig. 5 inner loop: ray-crossing over the flattened vertex arrays of
+/// polygon `pid`, skipping ring-separator sentinel edges.
+[[nodiscard]] bool point_in_polygon_soa(const PolygonSoA& soa, PolygonId pid,
+                                        double x, double y);
+
+/// Same, over raw arrays (the exact kernel signature shape); `p_f`/`p_t`
+/// bound polygon `pid`'s vertices as computed from ply_v.
+[[nodiscard]] bool point_in_polygon_soa_raw(const double* x_v,
+                                            const double* y_v,
+                                            std::uint32_t p_f,
+                                            std::uint32_t p_t, double x,
+                                            double y);
+
+}  // namespace zh

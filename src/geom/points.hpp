@@ -1,0 +1,25 @@
+// Structure-of-arrays point collection (e.g. species occurrences with
+// abundance weights) -- the point-data analog of PolygonSoA, laid out
+// for coalesced device access as in the authors' point-in-polygon
+// spatial-join work (paper refs [19]/[20]).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace zh {
+
+struct PointSet {
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> weight;  ///< empty = all weights 1
+
+  [[nodiscard]] std::size_t size() const { return x.size(); }
+  void add(double px, double py, double w = 1.0) {
+    x.push_back(px);
+    y.push_back(py);
+    weight.push_back(w);
+  }
+};
+
+}  // namespace zh

@@ -1,0 +1,45 @@
+#include "geom/polygon.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace zh {
+
+double ring_signed_area(const Ring& r) {
+  double acc = 0.0;
+  const std::size_t n = r.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const GeoPoint& a = r[i];
+    const GeoPoint& b = r[(i + 1) % n];
+    acc += a.x * b.y - b.x * a.y;
+  }
+  return acc / 2.0;
+}
+
+GeoBox Polygon::mbr() const {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  GeoBox box{inf, inf, -inf, -inf};
+  for (const Ring& r : rings_) {
+    for (const GeoPoint& p : r) box.expand(p);
+  }
+  return box;
+}
+
+double Polygon::signed_area() const {
+  double acc = 0.0;
+  for (const Ring& r : rings_) acc += ring_signed_area(r);
+  return acc;
+}
+
+GeoBox PolygonSet::extent() const {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  GeoBox box{inf, inf, -inf, -inf};
+  for (const Polygon& p : polygons_) {
+    const GeoBox b = p.mbr();
+    box.expand({b.min_x, b.min_y});
+    box.expand({b.max_x, b.max_y});
+  }
+  return box;
+}
+
+}  // namespace zh

@@ -1,0 +1,119 @@
+#include "geom/simplify.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace zh {
+
+namespace {
+
+/// Perpendicular distance from p to segment ab (degenerate segments
+/// fall back to point distance).
+double seg_distance(const GeoPoint& p, const GeoPoint& a,
+                    const GeoPoint& b) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len2 = dx * dx + dy * dy;
+  if (len2 == 0.0) return std::hypot(p.x - a.x, p.y - a.y);
+  // Distance to the infinite line: DP uses the chord deviation.
+  return std::abs(dy * p.x - dx * p.y + b.x * a.y - b.y * a.x) /
+         std::sqrt(len2);
+}
+
+/// Mark the vertices of points[first..last] (inclusive) to keep.
+void dp_recurse(const std::vector<GeoPoint>& points, std::size_t first,
+                std::size_t last, double epsilon,
+                std::vector<bool>& keep) {
+  if (last <= first + 1) return;
+  double worst = -1.0;
+  std::size_t worst_i = first;
+  for (std::size_t i = first + 1; i < last; ++i) {
+    const double d = seg_distance(points[i], points[first], points[last]);
+    if (d > worst) {
+      worst = d;
+      worst_i = i;
+    }
+  }
+  if (worst > epsilon) {
+    keep[worst_i] = true;
+    dp_recurse(points, first, worst_i, epsilon, keep);
+    dp_recurse(points, worst_i, last, epsilon, keep);
+  }
+}
+
+}  // namespace
+
+Ring simplify_ring(const Ring& ring, double epsilon) {
+  ZH_REQUIRE(epsilon >= 0.0, "tolerance must be non-negative");
+  const std::size_t n = ring.size();
+  if (n <= 3 || epsilon == 0.0) return ring;
+
+  // Close the ring explicitly so DP anchors on the wrap-around edge,
+  // then split it at the vertex farthest from the centroid (a stable
+  // anchor choice) to avoid collapsing through the seam.
+  double cx = 0.0;
+  double cy = 0.0;
+  for (const GeoPoint& p : ring) {
+    cx += p.x;
+    cy += p.y;
+  }
+  cx /= static_cast<double>(n);
+  cy /= static_cast<double>(n);
+  std::size_t anchor = 0;
+  double best = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = std::hypot(ring[i].x - cx, ring[i].y - cy);
+    if (d > best) {
+      best = d;
+      anchor = i;
+    }
+  }
+
+  // Rotate so the anchor is first, close the loop.
+  std::vector<GeoPoint> pts;
+  pts.reserve(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) pts.push_back(ring[(anchor + i) % n]);
+
+  std::vector<bool> keep(pts.size(), false);
+  keep.front() = true;
+  keep.back() = true;
+  // Also pin the approximate antipode so the closed curve cannot
+  // degenerate into a single chord.
+  keep[pts.size() / 2] = true;
+  dp_recurse(pts, 0, pts.size() / 2, epsilon, keep);
+  dp_recurse(pts, pts.size() / 2, pts.size() - 1, epsilon, keep);
+
+  Ring out;
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    if (keep[i]) out.push_back(pts[i]);
+  }
+  if (out.size() < 3) return ring;  // refuse to produce a degenerate ring
+  return out;
+}
+
+Polygon simplify_polygon(const Polygon& poly, double epsilon) {
+  Polygon out;
+  for (std::size_t r = 0; r < poly.rings().size(); ++r) {
+    Ring s = simplify_ring(poly.rings()[r], epsilon);
+    // Secondary rings (holes / extra parts) whose area is below the
+    // tolerance's resolving power are generalization noise: drop them.
+    // The first ring is always kept so the polygon stays a polygon.
+    if (r > 0 && std::abs(ring_signed_area(s)) < epsilon * epsilon) {
+      continue;
+    }
+    out.add_ring(std::move(s));
+  }
+  return out;
+}
+
+PolygonSet simplify_set(const PolygonSet& set, double epsilon) {
+  PolygonSet out;
+  for (PolygonId id = 0; id < set.size(); ++id) {
+    out.add(simplify_polygon(set[id], epsilon), set.name(id));
+  }
+  return out;
+}
+
+}  // namespace zh

@@ -1,0 +1,30 @@
+// Polygon boundary simplification (Douglas-Peucker).
+//
+// Step-4 cost is proportional to boundary-tile cells x polygon
+// *vertices* (the paper's dominant term), so simplifying zone
+// boundaries trades histogram exactness for runtime -- a knob real
+// deployments use (county datasets ship in multiple generalization
+// levels). The implementation is the classic recursive Douglas-Peucker
+// with a geographic tolerance; rings keep at least 3 vertices.
+#pragma once
+
+#include "geom/polygon.hpp"
+
+namespace zh {
+
+/// Simplify one ring with tolerance `epsilon` (max perpendicular
+/// deviation, in coordinate units). The ring stays closed and keeps at
+/// least 3 vertices.
+[[nodiscard]] Ring simplify_ring(const Ring& ring, double epsilon);
+
+/// Simplify every ring of a polygon. Secondary rings (holes, extra
+/// parts) whose simplified area falls below epsilon^2 -- generalization
+/// noise at that tolerance -- are dropped; the first ring is always
+/// kept.
+[[nodiscard]] Polygon simplify_polygon(const Polygon& poly, double epsilon);
+
+/// Simplify every polygon of a set (names preserved).
+[[nodiscard]] PolygonSet simplify_set(const PolygonSet& set,
+                                      double epsilon);
+
+}  // namespace zh

@@ -1,0 +1,37 @@
+#include "geom/soa.hpp"
+
+namespace zh {
+
+PolygonSoA PolygonSoA::build(const PolygonSet& set) {
+  PolygonSoA soa;
+  soa.ply_v_.reserve(set.size());
+
+  // Worst-case reserve: every ring gains a closing vertex and a sentinel.
+  std::size_t total = 0;
+  for (const Polygon& p : set.polygons()) {
+    total += p.vertex_count();
+    total += 2 * p.ring_count();
+  }
+  soa.x_v_.reserve(total);
+  soa.y_v_.reserve(total);
+
+  for (const Polygon& p : set.polygons()) {
+    for (const Ring& ring : p.rings()) {
+      for (const GeoPoint& v : ring) {
+        ZH_REQUIRE(!(v.x == 0.0 && v.y == 0.0),
+                   "vertex collides with the (0,0) ring-separator sentinel");
+        soa.x_v_.push_back(v.x);
+        soa.y_v_.push_back(v.y);
+      }
+      // Close the ring explicitly, then append the separator.
+      soa.x_v_.push_back(ring.front().x);
+      soa.y_v_.push_back(ring.front().y);
+      soa.x_v_.push_back(0.0);
+      soa.y_v_.push_back(0.0);
+    }
+    soa.ply_v_.push_back(static_cast<std::uint32_t>(soa.x_v_.size()));
+  }
+  return soa;
+}
+
+}  // namespace zh

@@ -1,0 +1,65 @@
+// GPU-friendly structure-of-arrays polygon layout (Fig. 5 of the paper).
+//
+// The object-based Polygon representation is flattened into three arrays:
+//   ply_v : per-polygon *end* offsets into the vertex arrays; polygon k's
+//           vertices occupy [k == 0 ? 0 : ply_v[k-1], ply_v[k]).
+//   x_v/y_v : vertex coordinates. Each ring is stored *closed* (its first
+//           vertex repeated at the end) and followed by the coordinate
+//           origin (0,0) as a ring separator -- the trick the paper uses
+//           to make Randolph Franklin's single-ring ray-crossing loop
+//           handle multi-ring polygons: when the edge's head is the
+//           sentinel the kernel skips that edge and the next one.
+//
+// The sentinel convention requires that no real vertex is exactly (0,0);
+// build() enforces this (geographic data in the CONUS region trivially
+// satisfies it, as does our synthetic generator).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "geom/polygon.hpp"
+
+namespace zh {
+
+class PolygonSoA {
+ public:
+  /// Flatten a PolygonSet. Throws InvalidArgument if any vertex collides
+  /// with the (0,0) ring-separator sentinel.
+  static PolygonSoA build(const PolygonSet& set);
+
+  [[nodiscard]] std::size_t polygon_count() const { return ply_v_.size(); }
+
+  /// Half-open vertex range [begin, end) of polygon `pid` in x_v/y_v,
+  /// exactly the p_f/p_t computation of Fig. 5.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> vertex_range(
+      PolygonId pid) const {
+    ZH_REQUIRE(pid < ply_v_.size(), "polygon id out of range");
+    const std::uint32_t p_f = pid == 0 ? 0u : ply_v_[pid - 1];
+    const std::uint32_t p_t = ply_v_[pid];
+    return {p_f, p_t};
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> ply_v() const {
+    return ply_v_;
+  }
+  [[nodiscard]] std::span<const double> x_v() const { return x_v_; }
+  [[nodiscard]] std::span<const double> y_v() const { return y_v_; }
+
+  /// Total flattened vertex count including closing vertices and ring
+  /// sentinels (drives Step-4 memory traffic).
+  [[nodiscard]] std::size_t flattened_vertex_count() const {
+    return x_v_.size();
+  }
+
+ private:
+  std::vector<std::uint32_t> ply_v_;
+  std::vector<double> x_v_;
+  std::vector<double> y_v_;
+};
+
+}  // namespace zh

@@ -1,0 +1,158 @@
+#include "geom/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace zh {
+
+namespace {
+
+double cross(const GeoPoint& o, const GeoPoint& a, const GeoPoint& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+bool on_segment(const GeoPoint& a, const GeoPoint& b, const GeoPoint& p) {
+  return std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool segments_intersect(const GeoPoint& a, const GeoPoint& b,
+                        const GeoPoint& c, const GeoPoint& d,
+                        bool ignore_shared_endpoints) {
+  if (ignore_shared_endpoints &&
+      (a == c || a == d || b == c || b == d)) {
+    // Shared endpoints are the normal ring-adjacency case; only a
+    // *crossing* beyond the shared point counts, which the general test
+    // below would flag. Check whether the non-shared endpoints straddle.
+    const GeoPoint& shared = (a == c || a == d) ? a : b;
+    const GeoPoint& pa = (shared == a) ? b : a;
+    const GeoPoint& pc = (shared == c) ? d : c;
+    // Overlapping collinear continuation counts as an intersection.
+    return cross(shared, pa, pc) == 0.0 && on_segment(shared, pa, pc) &&
+           !(pa == pc);
+  }
+  const double d1 = cross(c, d, a);
+  const double d2 = cross(c, d, b);
+  const double d3 = cross(a, b, c);
+  const double d4 = cross(a, b, d);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && on_segment(c, d, a)) return true;
+  if (d2 == 0 && on_segment(c, d, b)) return true;
+  if (d3 == 0 && on_segment(a, b, c)) return true;
+  if (d4 == 0 && on_segment(a, b, d)) return true;
+  return false;
+}
+
+ValidationReport validate_polygon(const Polygon& poly) {
+  ValidationReport report;
+  const auto& rings = poly.rings();
+
+  for (std::size_t r = 0; r < rings.size(); ++r) {
+    const Ring& ring = rings[r];
+    const std::size_t n = ring.size();
+
+    // Consecutive duplicates and the distinct-vertex count.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ring[i] == ring[(i + 1) % n]) {
+        report.has_duplicate_vertices = true;
+      }
+    }
+    std::set<std::pair<double, double>> unique;
+    for (const GeoPoint& p : ring) unique.emplace(p.x, p.y);
+    if (unique.size() < 3) {
+      report.has_degenerate_ring = true;
+      std::ostringstream os;
+      os << "ring " << r << " has fewer than 3 distinct vertices";
+      report.notes.push_back(os.str());
+      continue;
+    }
+
+    // Self-intersection: any non-adjacent edge pair intersecting.
+    for (std::size_t i = 0; i < n; ++i) {
+      const GeoPoint& a = ring[i];
+      const GeoPoint& b = ring[(i + 1) % n];
+      if (a == b) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const bool adjacent =
+            j == i + 1 || (i == 0 && j == n - 1);
+        const GeoPoint& c = ring[j];
+        const GeoPoint& d = ring[(j + 1) % n];
+        if (c == d) continue;
+        if (segments_intersect(a, b, c, d, adjacent)) {
+          report.has_self_intersection = true;
+          std::ostringstream os;
+          os << "ring " << r << ": edges " << i << " and " << j
+             << " intersect";
+          report.notes.push_back(os.str());
+          i = n;  // one note per ring is enough
+          break;
+        }
+      }
+    }
+  }
+
+  // Cross-ring crossings (holes must not cross the outer boundary).
+  for (std::size_t r1 = 0; r1 < rings.size(); ++r1) {
+    for (std::size_t r2 = r1 + 1; r2 < rings.size(); ++r2) {
+      const Ring& x = rings[r1];
+      const Ring& y = rings[r2];
+      bool found = false;
+      for (std::size_t i = 0; i < x.size() && !found; ++i) {
+        for (std::size_t j = 0; j < y.size() && !found; ++j) {
+          if (segments_intersect(x[i], x[(i + 1) % x.size()], y[j],
+                                 y[(j + 1) % y.size()], false)) {
+            report.has_ring_crossing = true;
+            std::ostringstream os;
+            os << "rings " << r1 << " and " << r2 << " intersect";
+            report.notes.push_back(os.str());
+            found = true;
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+Ring dedupe_ring(const Ring& ring) {
+  Ring out;
+  out.reserve(ring.size());
+  for (const GeoPoint& p : ring) {
+    if (out.empty() || !(out.back() == p)) out.push_back(p);
+  }
+  while (out.size() > 1 && out.front() == out.back()) out.pop_back();
+  return out;
+}
+
+Polygon normalize_winding(const Polygon& poly) {
+  Polygon out;
+  for (std::size_t r = 0; r < poly.rings().size(); ++r) {
+    Ring ring = poly.rings()[r];
+    const double area = ring_signed_area(ring);
+    const bool want_ccw = r == 0;
+    if ((area > 0) != want_ccw && area != 0) {
+      std::reverse(ring.begin(), ring.end());
+    }
+    out.add_ring(std::move(ring));
+  }
+  return out;
+}
+
+double polygon_area_ogc(const Polygon& poly) {
+  if (poly.empty()) return 0.0;
+  double area = std::abs(ring_signed_area(poly.rings()[0]));
+  for (std::size_t r = 1; r < poly.rings().size(); ++r) {
+    area -= std::abs(ring_signed_area(poly.rings()[r]));
+  }
+  return std::max(0.0, area);
+}
+
+}  // namespace zh

@@ -1,0 +1,58 @@
+// Polygon validity diagnostics and normalization.
+//
+// Real boundary datasets arrive with defects -- self-intersecting rings,
+// duplicate vertices, inconsistent winding. Ray-crossing parity stays
+// *well-defined* on such input (a reason the paper's pipeline tolerates
+// it), but downstream consumers (area computation, winding-number
+// cross-checks, exporters) want clean geometry. This module provides
+// checks and repairs:
+//   * validate_*  -- report defects without modifying anything;
+//   * dedupe_ring -- drop consecutive duplicate vertices;
+//   * normalize_winding -- outer ring counter-clockwise, holes clockwise
+//     (the OGC convention), which makes signed_area() the true area.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/polygon.hpp"
+
+namespace zh {
+
+/// Defects found in one polygon.
+struct ValidationReport {
+  bool has_duplicate_vertices = false;   ///< consecutive duplicates
+  bool has_self_intersection = false;    ///< ring crosses itself
+  bool has_ring_crossing = false;        ///< two rings cross each other
+  bool has_degenerate_ring = false;      ///< < 3 distinct vertices
+  std::vector<std::string> notes;
+
+  [[nodiscard]] bool ok() const {
+    return !has_duplicate_vertices && !has_self_intersection &&
+           !has_ring_crossing && !has_degenerate_ring;
+  }
+};
+
+/// Exact segment-segment intersection test used by the validators:
+/// true if the closed segments share any point, excluding shared
+/// endpoints when `ignore_shared_endpoints`.
+[[nodiscard]] bool segments_intersect(const GeoPoint& a, const GeoPoint& b,
+                                      const GeoPoint& c, const GeoPoint& d,
+                                      bool ignore_shared_endpoints);
+
+/// Full validity scan (O(V^2) per polygon -- diagnostics, not hot path).
+[[nodiscard]] ValidationReport validate_polygon(const Polygon& poly);
+
+/// Remove consecutive duplicate vertices (incl. a last == first wrap).
+[[nodiscard]] Ring dedupe_ring(const Ring& ring);
+
+/// Re-orient rings to the OGC convention: ring 0 counter-clockwise,
+/// all subsequent rings clockwise. Parity semantics are unaffected.
+[[nodiscard]] Polygon normalize_winding(const Polygon& poly);
+
+/// Hole-aware area under the OGC convention: |outer| minus |holes|
+/// (normalizes winding internally; disjoint extra parts would need a
+/// multipolygon model and are treated as holes by this formula).
+[[nodiscard]] double polygon_area_ogc(const Polygon& poly);
+
+}  // namespace zh

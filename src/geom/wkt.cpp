@@ -1,0 +1,137 @@
+#include "geom/wkt.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace zh {
+
+namespace {
+
+// Tiny recursive-descent scanner over the WKT text.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view s) : s_(s) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    ZH_REQUIRE_IO(consume(c), "expected '", c, "' at offset ", pos_,
+                  " in WKT");
+  }
+
+  /// Case-insensitive keyword match.
+  bool consume_keyword(std::string_view kw) {
+    skip_ws();
+    if (s_.size() - pos_ < kw.size()) return false;
+    for (std::size_t i = 0; i < kw.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(s_[pos_ + i])) != kw[i]) {
+        return false;
+      }
+    }
+    pos_ += kw.size();
+    return true;
+  }
+
+  double number() {
+    skip_ws();
+    const char* begin = s_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    ZH_REQUIRE_IO(end != begin, "expected number at offset ", pos_,
+                  " in WKT");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+Ring parse_ring(Scanner& sc) {
+  sc.expect('(');
+  Ring ring;
+  do {
+    const double x = sc.number();
+    const double y = sc.number();
+    ring.push_back({x, y});
+  } while (sc.consume(','));
+  sc.expect(')');
+  // WKT rings repeat the first vertex at the end; our Ring is unclosed.
+  if (ring.size() >= 2 && ring.front().x == ring.back().x &&
+      ring.front().y == ring.back().y) {
+    ring.pop_back();
+  }
+  ZH_REQUIRE_IO(ring.size() >= 3, "WKT ring has fewer than 3 vertices");
+  return ring;
+}
+
+void parse_polygon_body(Scanner& sc, Polygon& out) {
+  sc.expect('(');
+  do {
+    out.add_ring(parse_ring(sc));
+  } while (sc.consume(','));
+  sc.expect(')');
+}
+
+}  // namespace
+
+Polygon parse_wkt(std::string_view wkt) {
+  Scanner sc(wkt);
+  Polygon poly;
+  if (sc.consume_keyword("MULTIPOLYGON")) {
+    sc.expect('(');
+    do {
+      parse_polygon_body(sc, poly);
+    } while (sc.consume(','));
+    sc.expect(')');
+  } else if (sc.consume_keyword("POLYGON")) {
+    parse_polygon_body(sc, poly);
+  } else {
+    throw IoError("WKT must start with POLYGON or MULTIPOLYGON");
+  }
+  ZH_REQUIRE_IO(sc.at_end(), "trailing characters after WKT geometry");
+  return poly;
+}
+
+std::string to_wkt(const Polygon& poly) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "POLYGON (";
+  for (std::size_t r = 0; r < poly.rings().size(); ++r) {
+    if (r != 0) os << ", ";
+    os << '(';
+    const Ring& ring = poly.rings()[r];
+    for (const GeoPoint& p : ring) {
+      os << p.x << ' ' << p.y << ", ";
+    }
+    os << ring.front().x << ' ' << ring.front().y << ')';
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace zh

@@ -1,0 +1,24 @@
+// Minimal Well-Known Text reader/writer for polygon geometries.
+//
+// Supports POLYGON ((...), (...)) and MULTIPOLYGON (((...)), ((...))).
+// A MULTIPOLYGON flattens into one zh::Polygon whose rings carry even-odd
+// semantics -- exact for the disjoint-parts / properly-nested-holes
+// geometries of administrative boundary datasets (the paper's US-county
+// input is exactly such data).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "geom/polygon.hpp"
+
+namespace zh {
+
+/// Parse one WKT POLYGON or MULTIPOLYGON. Throws IoError on malformed
+/// input.
+[[nodiscard]] Polygon parse_wkt(std::string_view wkt);
+
+/// Serialize a polygon as WKT POLYGON text (all rings listed).
+[[nodiscard]] std::string to_wkt(const Polygon& poly);
+
+}  // namespace zh

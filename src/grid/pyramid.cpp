@@ -1,0 +1,91 @@
+#include "grid/pyramid.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "device/thread_pool.hpp"
+
+namespace zh {
+
+namespace {
+
+DemRaster reduce_once(const DemRaster& src, Resample resample) {
+  const std::int64_t rows = (src.rows() + 1) / 2;
+  const std::int64_t cols = (src.cols() + 1) / 2;
+  const GeoTransform& t = src.transform();
+  DemRaster out(rows, cols,
+                GeoTransform(t.origin_x(), t.origin_y(), t.cell_w() * 2,
+                             t.cell_h() * 2));
+  out.set_nodata(src.nodata());
+
+  ThreadPool::global().parallel_for(
+      static_cast<std::size_t>(rows), [&](std::size_t rb, std::size_t re) {
+        for (std::size_t r = rb; r < re; ++r) {
+          for (std::int64_t c = 0; c < cols; ++c) {
+            const std::int64_t sr = static_cast<std::int64_t>(r) * 2;
+            const std::int64_t sc = c * 2;
+            if (resample == Resample::kNearest) {
+              out.at(static_cast<std::int64_t>(r), c) = src.at(sr, sc);
+              continue;
+            }
+            // Mode of the (up to) 2x2 block; ties pick the smallest
+            // value so the result is deterministic.
+            std::array<CellValue, 4> vals{};
+            int n = 0;
+            for (std::int64_t dr = 0; dr < 2; ++dr) {
+              for (std::int64_t dc = 0; dc < 2; ++dc) {
+                if (sr + dr < src.rows() && sc + dc < src.cols()) {
+                  vals[static_cast<std::size_t>(n++)] =
+                      src.at(sr + dr, sc + dc);
+                }
+              }
+            }
+            std::sort(vals.begin(), vals.begin() + n);
+            CellValue best = vals[0];
+            int best_run = 1;
+            int run = 1;
+            for (int i = 1; i < n; ++i) {
+              run = vals[i] == vals[i - 1] ? run + 1 : 1;
+              if (run > best_run) {
+                best_run = run;
+                best = vals[static_cast<std::size_t>(i)];
+              }
+            }
+            out.at(static_cast<std::int64_t>(r), c) = best;
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace
+
+RasterPyramid RasterPyramid::build(const DemRaster& base, int levels,
+                                   Resample resample) {
+  ZH_REQUIRE(levels >= 1, "pyramid needs at least the base level");
+  RasterPyramid pyramid;
+  pyramid.levels_.push_back(base);
+  while (static_cast<int>(pyramid.levels_.size()) < levels) {
+    const DemRaster& top = pyramid.levels_.back();
+    if (top.rows() <= 1 && top.cols() <= 1) break;
+    pyramid.levels_.push_back(reduce_once(top, resample));
+  }
+  return pyramid;
+}
+
+const DemRaster& RasterPyramid::level_for_edge(
+    std::int64_t max_edge) const {
+  ZH_REQUIRE(max_edge >= 1, "max_edge must be positive");
+  for (const DemRaster& r : levels_) {
+    if (std::max(r.rows(), r.cols()) <= max_edge) return r;
+  }
+  return levels_.back();
+}
+
+std::int64_t RasterPyramid::total_cells() const {
+  std::int64_t n = 0;
+  for (const DemRaster& r : levels_) n += r.cell_count();
+  return n;
+}
+
+}  // namespace zh

@@ -1,0 +1,54 @@
+// Multi-resolution raster pyramids (overviews).
+//
+// The paper's future-work goal of "near real-time interactive visual
+// explorations" rests on the standard GIS mechanism for it: precomputed
+// overview levels, each half the resolution of the previous. Two
+// reducers are provided: nearest (cheap, any data) and mode (majority
+// of the 2x2 block -- the right choice for categorical land-cover
+// layers where averaging would invent classes).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "grid/raster.hpp"
+
+namespace zh {
+
+enum class Resample : std::uint8_t {
+  kNearest,  ///< top-left cell of each 2x2 block
+  kMode,     ///< majority value of the block (ties -> smallest value)
+};
+
+class RasterPyramid {
+ public:
+  /// Build `levels` overviews above `base` (level 0 == base copy;
+  /// level k has ceil(dim / 2^k) cells per axis). Levels are clamped so
+  /// the coarsest level keeps at least one cell.
+  static RasterPyramid build(const DemRaster& base, int levels,
+                             Resample resample = Resample::kNearest);
+
+  /// Number of levels including the base.
+  [[nodiscard]] int levels() const {
+    return static_cast<int>(levels_.size());
+  }
+
+  /// Level k raster (0 == full resolution).
+  [[nodiscard]] const DemRaster& level(int k) const {
+    ZH_REQUIRE(k >= 0 && k < levels(), "pyramid level out of range");
+    return levels_[static_cast<std::size_t>(k)];
+  }
+
+  /// Coarsest level whose longest edge is <= max_edge (for quick-look
+  /// rendering); falls back to the coarsest available.
+  [[nodiscard]] const DemRaster& level_for_edge(
+      std::int64_t max_edge) const;
+
+  /// Total cells over all levels (the classic ~4/3 overhead).
+  [[nodiscard]] std::int64_t total_cells() const;
+
+ private:
+  std::vector<DemRaster> levels_;
+};
+
+}  // namespace zh

@@ -1,0 +1,96 @@
+#include "grid/terrain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "device/thread_pool.hpp"
+
+namespace zh {
+
+namespace {
+
+/// Horn's 3x3 gradient at (r, c); border cells clamp to the edge.
+struct Gradient {
+  double dzdx;
+  double dzdy;
+};
+
+Gradient horn_gradient(const DemRaster& dem, std::int64_t r,
+                       std::int64_t c, double cell_distance) {
+  auto z = [&](std::int64_t rr, std::int64_t cc) {
+    rr = std::clamp<std::int64_t>(rr, 0, dem.rows() - 1);
+    cc = std::clamp<std::int64_t>(cc, 0, dem.cols() - 1);
+    return static_cast<double>(dem.at(rr, cc));
+  };
+  const double a = z(r - 1, c - 1);
+  const double b = z(r - 1, c);
+  const double cc_ = z(r - 1, c + 1);
+  const double d = z(r, c - 1);
+  const double f = z(r, c + 1);
+  const double g = z(r + 1, c - 1);
+  const double h = z(r + 1, c);
+  const double i = z(r + 1, c + 1);
+  return {((cc_ + 2 * f + i) - (a + 2 * d + g)) / (8.0 * cell_distance),
+          ((g + 2 * h + i) - (a + 2 * b + cc_)) / (8.0 * cell_distance)};
+}
+
+}  // namespace
+
+Raster<CellValue> slope_degrees(const DemRaster& dem,
+                                const TerrainParams& params) {
+  ZH_REQUIRE(params.cell_distance > 0, "cell distance must be positive");
+  Raster<CellValue> out(dem.rows(), dem.cols(), dem.transform());
+  ThreadPool::global().parallel_for(
+      static_cast<std::size_t>(dem.rows()),
+      [&](std::size_t rb, std::size_t re) {
+        for (std::size_t r = rb; r < re; ++r) {
+          for (std::int64_t c = 0; c < dem.cols(); ++c) {
+            const Gradient g = horn_gradient(
+                dem, static_cast<std::int64_t>(r), c,
+                params.cell_distance);
+            const double rise =
+                std::sqrt(g.dzdx * g.dzdx + g.dzdy * g.dzdy);
+            const double deg =
+                std::atan(rise) * 180.0 / std::numbers::pi;
+            out.at(static_cast<std::int64_t>(r), c) =
+                static_cast<CellValue>(std::lround(deg));
+          }
+        }
+      });
+  return out;
+}
+
+Raster<CellValue> aspect_sectors(const DemRaster& dem,
+                                 const TerrainParams& params) {
+  ZH_REQUIRE(params.cell_distance > 0, "cell distance must be positive");
+  Raster<CellValue> out(dem.rows(), dem.cols(), dem.transform());
+  ThreadPool::global().parallel_for(
+      static_cast<std::size_t>(dem.rows()),
+      [&](std::size_t rb, std::size_t re) {
+        for (std::size_t r = rb; r < re; ++r) {
+          for (std::int64_t c = 0; c < dem.cols(); ++c) {
+            const Gradient g = horn_gradient(
+                dem, static_cast<std::int64_t>(r), c,
+                params.cell_distance);
+            if (g.dzdx == 0.0 && g.dzdy == 0.0) {
+              out.at(static_cast<std::int64_t>(r), c) = 8;  // flat
+              continue;
+            }
+            // Downslope azimuth, degrees clockwise from north. In
+            // (east, north) coordinates the gradient is (dzdx, -dzdy)
+            // (dzdy is per *southward* step), so downslope is
+            // (-dzdx, dzdy).
+            double az = std::atan2(-g.dzdx, g.dzdy) * 180.0 /
+                        std::numbers::pi;
+            if (az < 0) az += 360.0;
+            out.at(static_cast<std::int64_t>(r), c) =
+                static_cast<CellValue>(
+                    static_cast<int>((az + 22.5) / 45.0) % 8);
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace zh

@@ -1,0 +1,32 @@
+// Terrain derivatives from DEMs.
+//
+// Zonal histograms of *derived* layers (slope classes, aspect sectors)
+// are the bread-and-butter use of zonal statistics in GIS; the paper's
+// pipeline consumes any integer raster, so these operators turn a DEM
+// into such layers. Slope/aspect use Horn's 3x3 method (the ArcGIS/GDAL
+// convention); edges replicate the border cell.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "grid/raster.hpp"
+
+namespace zh {
+
+struct TerrainParams {
+  /// Ground distance of one cell, in the same unit as elevations
+  /// (e.g. 30 for 30 m cells with elevations in meters).
+  double cell_distance = 30.0;
+};
+
+/// Slope in integer degrees [0, 90] per cell (Horn's method).
+[[nodiscard]] Raster<CellValue> slope_degrees(const DemRaster& dem,
+                                              const TerrainParams& params);
+
+/// Aspect in 8 compass sectors (0=N, 1=NE, ..., 7=NW); flat cells get
+/// sector 8. Useful as a 9-class zonal layer.
+[[nodiscard]] Raster<CellValue> aspect_sectors(const DemRaster& dem,
+                                               const TerrainParams& params);
+
+}  // namespace zh

@@ -1,0 +1,19 @@
+// ESRI ASCII grid (.asc) reader/writer -- the interchange format most GIS
+// packages (ArcGIS, GDAL, GRASS) accept, provided for interoperability
+// with existing zonal-statistics tools.
+#pragma once
+
+#include <string>
+
+#include "grid/raster.hpp"
+
+namespace zh {
+
+/// Write `raster` as an ESRI ASCII grid. Requires square cells
+/// (cell_w == cell_h), as the format has a single `cellsize` field.
+void write_ascii_grid(const std::string& path, const DemRaster& raster);
+
+/// Read an ESRI ASCII grid. Values must fit CellValue (uint16).
+[[nodiscard]] DemRaster read_ascii_grid(const std::string& path);
+
+}  // namespace zh

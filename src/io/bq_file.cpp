@@ -1,0 +1,93 @@
+#include "io/bq_file.hpp"
+
+#include <array>
+#include <bit>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace zh {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'Z', 'B', 'Q', '1'};
+
+static_assert(std::endian::native == std::endian::little,
+              "bq I/O assumes a little-endian host");
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  ZH_REQUIRE_IO(is.good(), "unexpected end of bq stream");
+  return v;
+}
+
+}  // namespace
+
+void write_bq(const std::string& path, const BqCompressedRaster& raster) {
+  std::ofstream os(path, std::ios::binary);
+  ZH_REQUIRE_IO(os.is_open(), "cannot open for write: ", path);
+  os.write(kMagic.data(), kMagic.size());
+  const TilingScheme& tiling = raster.tiling();
+  write_pod(os, tiling.raster_rows());
+  write_pod(os, tiling.raster_cols());
+  write_pod(os, tiling.tile_size());
+  write_pod(os, raster.transform().origin_x());
+  write_pod(os, raster.transform().origin_y());
+  write_pod(os, raster.transform().cell_w());
+  write_pod(os, raster.transform().cell_h());
+  write_pod(os, static_cast<std::uint64_t>(tiling.tile_count()));
+  for (TileId id = 0; id < tiling.tile_count(); ++id) {
+    const BqEncodedTile& t = raster.tile(id);
+    write_pod(os, t.rows);
+    write_pod(os, t.cols);
+    write_pod(os, t.plane_mask);
+    write_pod(os, static_cast<std::uint32_t>(t.payload.size()));
+    os.write(reinterpret_cast<const char*>(t.payload.data()),
+             static_cast<std::streamsize>(t.payload.size()));
+  }
+  ZH_REQUIRE_IO(os.good(), "write failed: ", path);
+}
+
+BqCompressedRaster read_bq(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  ZH_REQUIRE_IO(is.is_open(), "cannot open for read: ", path);
+  std::array<char, 4> magic{};
+  is.read(magic.data(), magic.size());
+  ZH_REQUIRE_IO(is.good() && magic == kMagic, "bad bq magic in ", path);
+  const auto rows = read_pod<std::int64_t>(is);
+  const auto cols = read_pod<std::int64_t>(is);
+  const auto tile_size = read_pod<std::int64_t>(is);
+  ZH_REQUIRE_IO(rows >= 0 && cols >= 0 && tile_size > 0,
+                "bad bq header dims in ", path);
+  const auto ox = read_pod<double>(is);
+  const auto oy = read_pod<double>(is);
+  const auto cw = read_pod<double>(is);
+  const auto ch = read_pod<double>(is);
+  ZH_REQUIRE_IO(cw > 0 && ch > 0, "bad bq geotransform in ", path);
+  const TilingScheme tiling(rows, cols, tile_size);
+  const auto count = read_pod<std::uint64_t>(is);
+  ZH_REQUIRE_IO(count == tiling.tile_count(),
+                "bq tile count mismatch in ", path);
+  std::vector<BqEncodedTile> tiles(count);
+  for (auto& t : tiles) {
+    t.rows = read_pod<std::uint32_t>(is);
+    t.cols = read_pod<std::uint32_t>(is);
+    t.plane_mask = read_pod<std::uint16_t>(is);
+    const auto payload = read_pod<std::uint32_t>(is);
+    t.payload.resize(payload);
+    is.read(reinterpret_cast<char*>(t.payload.data()), payload);
+    ZH_REQUIRE_IO(is.good(), "truncated bq tile payload in ", path);
+  }
+  return BqCompressedRaster::from_tiles(tiling,
+                                        GeoTransform(ox, oy, cw, ch),
+                                        std::move(tiles));
+}
+
+}  // namespace zh

@@ -1,0 +1,26 @@
+// .bq: on-disk container for BQ-Tree-compressed rasters.
+//
+// The paper ships the CONUS SRTM data as BQ-Tree streams precisely so the
+// (much smaller) compressed form is what moves across disk and PCIe;
+// this format persists a BqCompressedRaster so pipelines can start from
+// compressed input without re-encoding.
+//
+// Layout (little-endian):
+//   magic "ZBQ1"
+//   rows i64, cols i64, tile_size i64
+//   geotransform: 4 doubles
+//   tile count u64, then per tile:
+//     rows u32, cols u32, plane_mask u16, payload size u32, payload bytes
+#pragma once
+
+#include <string>
+
+#include "bqtree/compressed_raster.hpp"
+
+namespace zh {
+
+void write_bq(const std::string& path, const BqCompressedRaster& raster);
+
+[[nodiscard]] BqCompressedRaster read_bq(const std::string& path);
+
+}  // namespace zh

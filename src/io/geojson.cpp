@@ -1,0 +1,343 @@
+#include "io/geojson.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <variant>
+
+#include "common/error.hpp"
+
+namespace zh {
+
+namespace {
+
+// -------- minimal JSON value model + recursive-descent parser --------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v = nullptr;
+
+  [[nodiscard]] const JsonObject* object() const {
+    return std::get_if<JsonObject>(&v);
+  }
+  [[nodiscard]] const JsonArray* array() const {
+    return std::get_if<JsonArray>(&v);
+  }
+  [[nodiscard]] const std::string* string() const {
+    return std::get_if<std::string>(&v);
+  }
+  [[nodiscard]] const double* number() const {
+    return std::get_if<double>(&v);
+  }
+};
+
+const JsonValue* find(const JsonObject& obj, std::string_view key) {
+  for (const auto& [k, val] : obj) {
+    if (k == key) return &val;
+  }
+  return nullptr;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    ZH_REQUIRE_IO(pos_ >= s_.size(), "trailing JSON content at offset ",
+                  pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    ZH_REQUIRE_IO(pos_ < s_.size(), "unexpected end of JSON");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    ZH_REQUIRE_IO(peek() == c, "expected '", c, "' at offset ", pos_);
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue{parse_string()};
+      case 't':
+        expect_literal("true");
+        return JsonValue{true};
+      case 'f':
+        expect_literal("false");
+        return JsonValue{false};
+      case 'n':
+        expect_literal("null");
+        return JsonValue{nullptr};
+      default:
+        return JsonValue{parse_number()};
+    }
+  }
+
+  void expect_literal(std::string_view lit) {
+    skip_ws();
+    ZH_REQUIRE_IO(s_.substr(pos_, lit.size()) == lit,
+                  "bad JSON literal at offset ", pos_);
+    pos_ += lit.size();
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* begin = s_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    ZH_REQUIRE_IO(end != begin, "expected number at offset ", pos_);
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      ZH_REQUIRE_IO(pos_ < s_.size(), "unterminated JSON string");
+      const char c = s_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        ZH_REQUIRE_IO(pos_ < s_.size(), "dangling escape in string");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            // Basic BMP escape; emitted as '?' outside ASCII for
+            // simplicity (names only; geometry carries no strings).
+            ZH_REQUIRE_IO(pos_ + 4 <= s_.size(), "bad \\u escape");
+            const std::string hex(s_.substr(pos_, 4));
+            pos_ += 4;
+            const long code = std::strtol(hex.c_str(), nullptr, 16);
+            out.push_back(code < 128 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default:
+            throw IoError("unsupported JSON escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    if (consume(']')) return JsonValue{std::move(arr)};
+    do {
+      arr.push_back(parse_value());
+    } while (consume(','));
+    expect(']');
+    return JsonValue{std::move(arr)};
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    if (consume('}')) return JsonValue{std::move(obj)};
+    do {
+      std::string key = parse_string();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value());
+    } while (consume(','));
+    expect('}');
+    return JsonValue{std::move(obj)};
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------- GeoJSON geometry extraction ----------------
+
+Ring parse_ring(const JsonArray& coords) {
+  Ring ring;
+  ring.reserve(coords.size());
+  for (const JsonValue& pt : coords) {
+    const JsonArray* pair = pt.array();
+    ZH_REQUIRE_IO(pair != nullptr && pair->size() >= 2,
+                  "GeoJSON position must be [x, y]");
+    const double* x = (*pair)[0].number();
+    const double* y = (*pair)[1].number();
+    ZH_REQUIRE_IO(x != nullptr && y != nullptr,
+                  "GeoJSON position must be numeric");
+    ring.push_back({*x, *y});
+  }
+  // GeoJSON rings repeat the first position at the end.
+  if (ring.size() >= 2 && ring.front() == ring.back()) ring.pop_back();
+  ZH_REQUIRE_IO(ring.size() >= 3, "GeoJSON ring has fewer than 3 points");
+  return ring;
+}
+
+void add_polygon_coords(const JsonArray& rings, Polygon& out) {
+  for (const JsonValue& ring : rings) {
+    const JsonArray* arr = ring.array();
+    ZH_REQUIRE_IO(arr != nullptr, "GeoJSON ring must be an array");
+    out.add_ring(parse_ring(*arr));
+  }
+}
+
+Polygon parse_geometry(const JsonObject& geom) {
+  const JsonValue* type = find(geom, "type");
+  const JsonValue* coords = find(geom, "coordinates");
+  ZH_REQUIRE_IO(type != nullptr && type->string() != nullptr &&
+                    coords != nullptr && coords->array() != nullptr,
+                "geometry needs type and coordinates");
+  Polygon poly;
+  if (*type->string() == "Polygon") {
+    add_polygon_coords(*coords->array(), poly);
+  } else if (*type->string() == "MultiPolygon") {
+    for (const JsonValue& part : *coords->array()) {
+      ZH_REQUIRE_IO(part.array() != nullptr,
+                    "MultiPolygon part must be an array");
+      add_polygon_coords(*part.array(), poly);
+    }
+  } else {
+    throw IoError("unsupported GeoJSON geometry type: " + *type->string());
+  }
+  return poly;
+}
+
+std::string feature_name(const JsonObject& feature, std::size_t index) {
+  if (const JsonValue* props = find(feature, "properties")) {
+    if (const JsonObject* obj = props->object()) {
+      if (const JsonValue* name = find(*obj, "name")) {
+        if (name->string() != nullptr) return *name->string();
+      }
+    }
+  }
+  return "feature" + std::to_string(index);
+}
+
+void escape_into(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+}
+
+}  // namespace
+
+PolygonSet parse_geojson(const std::string& text) {
+  JsonParser parser(text);
+  const JsonValue doc = parser.parse_document();
+  const JsonObject* root = doc.object();
+  ZH_REQUIRE_IO(root != nullptr, "GeoJSON root must be an object");
+  const JsonValue* type = find(*root, "type");
+  ZH_REQUIRE_IO(type != nullptr && type->string() != nullptr,
+                "GeoJSON root needs a type");
+
+  PolygonSet set;
+  if (*type->string() == "FeatureCollection") {
+    const JsonValue* features = find(*root, "features");
+    ZH_REQUIRE_IO(features != nullptr && features->array() != nullptr,
+                  "FeatureCollection needs a features array");
+    std::size_t index = 0;
+    for (const JsonValue& f : *features->array()) {
+      const JsonObject* feature = f.object();
+      ZH_REQUIRE_IO(feature != nullptr, "feature must be an object");
+      const JsonValue* geom = find(*feature, "geometry");
+      ZH_REQUIRE_IO(geom != nullptr && geom->object() != nullptr,
+                    "feature needs a geometry");
+      set.add(parse_geometry(*geom->object()),
+              feature_name(*feature, index));
+      ++index;
+    }
+  } else if (*type->string() == "Feature") {
+    const JsonValue* geom = find(*root, "geometry");
+    ZH_REQUIRE_IO(geom != nullptr && geom->object() != nullptr,
+                  "feature needs a geometry");
+    set.add(parse_geometry(*geom->object()), feature_name(*root, 0));
+  } else {
+    set.add(parse_geometry(*root), "feature0");
+  }
+  return set;
+}
+
+PolygonSet read_geojson(const std::string& path) {
+  std::ifstream is(path);
+  ZH_REQUIRE_IO(is.is_open(), "cannot open for read: ", path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse_geojson(buf.str());
+}
+
+std::string to_geojson(const PolygonSet& set) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"type\":\"FeatureCollection\",\"features\":[";
+  for (PolygonId id = 0; id < set.size(); ++id) {
+    if (id != 0) os << ',';
+    os << "{\"type\":\"Feature\",\"properties\":{\"name\":\"";
+    escape_into(os, set.name(id));
+    os << "\"},\"geometry\":{\"type\":\"Polygon\",\"coordinates\":[";
+    const Polygon& poly = set[id];
+    for (std::size_t r = 0; r < poly.rings().size(); ++r) {
+      if (r != 0) os << ',';
+      os << '[';
+      const Ring& ring = poly.rings()[r];
+      for (const GeoPoint& p : ring) {
+        os << '[' << p.x << ',' << p.y << "],";
+      }
+      os << '[' << ring.front().x << ',' << ring.front().y << "]]";
+    }
+    os << "]}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void write_geojson(const std::string& path, const PolygonSet& set) {
+  std::ofstream os(path);
+  ZH_REQUIRE_IO(os.is_open(), "cannot open for write: ", path);
+  os << to_geojson(set) << '\n';
+  ZH_REQUIRE_IO(os.good(), "write failed: ", path);
+}
+
+}  // namespace zh

@@ -1,0 +1,32 @@
+// GeoJSON (RFC 7946) polygon layer I/O -- the subset real zone layers
+// use: FeatureCollection of Polygon / MultiPolygon features, with an
+// optional "name" property per feature. Parsed with a small built-in
+// JSON scanner (no external dependency); numbers, strings with basic
+// escapes, nested arrays/objects. Unknown members are skipped.
+//
+// MultiPolygon features flatten to one zh::Polygon with even-odd ring
+// semantics, matching the WKT reader's convention.
+#pragma once
+
+#include <string>
+
+#include "geom/polygon.hpp"
+
+namespace zh {
+
+/// Parse a GeoJSON document: a FeatureCollection, a single Feature, or
+/// a bare Polygon/MultiPolygon geometry. Throws IoError on malformed
+/// input or unsupported geometry types.
+[[nodiscard]] PolygonSet parse_geojson(const std::string& text);
+
+/// Read a .geojson file.
+[[nodiscard]] PolygonSet read_geojson(const std::string& path);
+
+/// Serialize a polygon set as a FeatureCollection (each feature a
+/// Polygon with a "name" property).
+[[nodiscard]] std::string to_geojson(const PolygonSet& set);
+
+/// Write a .geojson file.
+void write_geojson(const std::string& path, const PolygonSet& set);
+
+}  // namespace zh

@@ -1,0 +1,153 @@
+#include "io/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace zh {
+
+namespace {
+
+std::int64_t stride_for(std::int64_t rows, std::int64_t cols,
+                        std::int64_t max_edge) {
+  const std::int64_t longest = std::max(rows, cols);
+  return std::max<std::int64_t>(1, (longest + max_edge - 1) / max_edge);
+}
+
+struct Rgb {
+  std::uint8_t r, g, b;
+};
+
+Rgb lerp(const Rgb& a, const Rgb& b, double t) {
+  auto mix = [&](std::uint8_t x, std::uint8_t y) {
+    return static_cast<std::uint8_t>(x + (y - x) * t);
+  };
+  return {mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b)};
+}
+
+/// Piecewise hypsometric ramp over t in [0, 1].
+Rgb hypsometric(double t) {
+  constexpr Rgb kStops[] = {{70, 120, 50},    // lowland green
+                            {160, 160, 80},   // foothill tan
+                            {140, 100, 60},   // mountain brown
+                            {230, 230, 230}}; // snow
+  t = std::clamp(t, 0.0, 1.0) * 3.0;
+  const int seg = std::min(2, static_cast<int>(t));
+  return lerp(kStops[seg], kStops[seg + 1], t - seg);
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void write_ppm(const std::string& path, const RgbImage& image) {
+  std::ofstream os(path, std::ios::binary);
+  ZH_REQUIRE_IO(os.is_open(), "cannot open for write: ", path);
+  os << "P6\n" << image.width << ' ' << image.height << "\n255\n";
+  os.write(reinterpret_cast<const char*>(image.pixels.data()),
+           static_cast<std::streamsize>(image.pixels.size()));
+  ZH_REQUIRE_IO(os.good(), "write failed: ", path);
+}
+
+RgbImage render_elevation(const DemRaster& dem, std::int64_t max_edge) {
+  ZH_REQUIRE(max_edge >= 1, "max_edge must be positive");
+  if (dem.rows() == 0 || dem.cols() == 0) return RgbImage{};
+  const std::int64_t stride = stride_for(dem.rows(), dem.cols(), max_edge);
+  const std::int64_t h = (dem.rows() + stride - 1) / stride;
+  const std::int64_t w = (dem.cols() + stride - 1) / stride;
+
+  CellValue lo = std::numeric_limits<CellValue>::max();
+  CellValue hi = 0;
+  for (const CellValue v : dem.cells()) {
+    if (dem.nodata() && v == *dem.nodata()) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi > lo ? static_cast<double>(hi - lo) : 1.0;
+
+  RgbImage img(w, h);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const CellValue v = dem.at(y * stride, x * stride);
+      if (dem.nodata() && v == *dem.nodata()) {
+        img.set(x, y, 40, 70, 150);  // nodata: water blue
+        continue;
+      }
+      const Rgb c = hypsometric((v - lo) / span);
+      img.set(x, y, c.r, c.g, c.b);
+    }
+  }
+  return img;
+}
+
+RgbImage render_zone_ids(const Raster<PolygonId>& zones,
+                         std::int64_t max_edge) {
+  ZH_REQUIRE(max_edge >= 1, "max_edge must be positive");
+  if (zones.rows() == 0 || zones.cols() == 0) return RgbImage{};
+  const std::int64_t stride =
+      stride_for(zones.rows(), zones.cols(), max_edge);
+  const std::int64_t h = (zones.rows() + stride - 1) / stride;
+  const std::int64_t w = (zones.cols() + stride - 1) / stride;
+  RgbImage img(w, h);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const PolygonId id = zones.at(y * stride, x * stride);
+      if (id == kInvalidPolygon) {
+        img.set(x, y, 25, 25, 30);
+        continue;
+      }
+      const std::uint64_t hsh = mix64(id);
+      // Bright-ish categorical colors: keep each channel above 64.
+      img.set(x, y, static_cast<std::uint8_t>(64 + (hsh & 0xBF)),
+              static_cast<std::uint8_t>(64 + ((hsh >> 8) & 0xBF)),
+              static_cast<std::uint8_t>(64 + ((hsh >> 16) & 0xBF)));
+    }
+  }
+  return img;
+}
+
+RgbImage render_choropleth(const Raster<PolygonId>& zones,
+                           const std::vector<double>& values,
+                           std::int64_t max_edge) {
+  ZH_REQUIRE(max_edge >= 1, "max_edge must be positive");
+  if (zones.rows() == 0 || zones.cols() == 0) return RgbImage{};
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const double v : values) {
+    if (!std::isfinite(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+
+  const std::int64_t stride =
+      stride_for(zones.rows(), zones.cols(), max_edge);
+  const std::int64_t h = (zones.rows() + stride - 1) / stride;
+  const std::int64_t w = (zones.cols() + stride - 1) / stride;
+  RgbImage img(w, h);
+  constexpr Rgb kCold{50, 80, 200};
+  constexpr Rgb kHot{210, 60, 40};
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const PolygonId id = zones.at(y * stride, x * stride);
+      if (id == kInvalidPolygon || id >= values.size() ||
+          !std::isfinite(values[id])) {
+        img.set(x, y, 25, 25, 30);
+        continue;
+      }
+      const Rgb c = lerp(kCold, kHot, (values[id] - lo) / span);
+      img.set(x, y, c.r, c.g, c.b);
+    }
+  }
+  return img;
+}
+
+}  // namespace zh

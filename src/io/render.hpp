@@ -1,0 +1,57 @@
+// Simple raster rendering to PPM images -- the hook for the paper's
+// future-work item "integrate the GPU-accelerated geospatial operation
+// with visualization modules". Renders elevation rasters with a
+// hypsometric ramp, zone-id rasters as categorical maps, and choropleth
+// maps of per-zone statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "grid/raster.hpp"
+
+namespace zh {
+
+/// 8-bit RGB image, row-major.
+struct RgbImage {
+  std::int64_t width = 0;
+  std::int64_t height = 0;
+  std::vector<std::uint8_t> pixels;  // 3 bytes per pixel
+
+  RgbImage() = default;
+  RgbImage(std::int64_t w, std::int64_t h)
+      : width(w), height(h),
+        pixels(static_cast<std::size_t>(w * h * 3), 0) {}
+
+  void set(std::int64_t x, std::int64_t y, std::uint8_t r, std::uint8_t g,
+           std::uint8_t b) {
+    const std::size_t i = static_cast<std::size_t>((y * width + x) * 3);
+    pixels[i] = r;
+    pixels[i + 1] = g;
+    pixels[i + 2] = b;
+  }
+};
+
+/// Binary PPM (P6) writer.
+void write_ppm(const std::string& path, const RgbImage& image);
+
+/// Hypsometric elevation rendering (green lowlands -> brown -> white
+/// peaks), nodata in blue. `max_edge` caps the output size; larger
+/// rasters are decimated by integer striding.
+[[nodiscard]] RgbImage render_elevation(const DemRaster& dem,
+                                        std::int64_t max_edge = 1024);
+
+/// Categorical zone map from a rasterized zone-id grid (kInvalidPolygon
+/// renders dark). Colors are a deterministic hash of the zone id.
+[[nodiscard]] RgbImage render_zone_ids(const Raster<PolygonId>& zones,
+                                       std::int64_t max_edge = 1024);
+
+/// Choropleth: zone cells shaded by `values[zone]` over a blue->red
+/// ramp spanning [min, max] of the finite values.
+[[nodiscard]] RgbImage render_choropleth(const Raster<PolygonId>& zones,
+                                         const std::vector<double>& values,
+                                         std::int64_t max_edge = 1024);
+
+}  // namespace zh

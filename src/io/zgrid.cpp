@@ -1,0 +1,82 @@
+#include "io/zgrid.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace zh {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'Z', 'G', 'R', 'D'};
+constexpr std::uint32_t kVersion = 1;
+
+static_assert(std::endian::native == std::endian::little,
+              "zgrid I/O assumes a little-endian host");
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  ZH_REQUIRE_IO(is.good(), "unexpected end of zgrid stream");
+  return v;
+}
+
+}  // namespace
+
+void write_zgrid(const std::string& path, const DemRaster& raster) {
+  std::ofstream os(path, std::ios::binary);
+  ZH_REQUIRE_IO(os.is_open(), "cannot open for write: ", path);
+  os.write(kMagic.data(), kMagic.size());
+  write_pod(os, kVersion);
+  write_pod(os, raster.rows());
+  write_pod(os, raster.cols());
+  write_pod(os, raster.transform().origin_x());
+  write_pod(os, raster.transform().origin_y());
+  write_pod(os, raster.transform().cell_w());
+  write_pod(os, raster.transform().cell_h());
+  const std::uint8_t has_nodata = raster.nodata().has_value() ? 1 : 0;
+  write_pod(os, has_nodata);
+  write_pod(os, raster.nodata().value_or(CellValue{0}));
+  const auto cells = raster.cells();
+  os.write(reinterpret_cast<const char*>(cells.data()),
+           static_cast<std::streamsize>(cells.size_bytes()));
+  ZH_REQUIRE_IO(os.good(), "write failed: ", path);
+}
+
+DemRaster read_zgrid(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  ZH_REQUIRE_IO(is.is_open(), "cannot open for read: ", path);
+  std::array<char, 4> magic{};
+  is.read(magic.data(), magic.size());
+  ZH_REQUIRE_IO(is.good() && magic == kMagic, "bad zgrid magic in ", path);
+  const auto version = read_pod<std::uint32_t>(is);
+  ZH_REQUIRE_IO(version == kVersion, "unsupported zgrid version ", version);
+  const auto rows = read_pod<std::int64_t>(is);
+  const auto cols = read_pod<std::int64_t>(is);
+  ZH_REQUIRE_IO(rows >= 0 && cols >= 0, "negative zgrid dims");
+  const auto ox = read_pod<double>(is);
+  const auto oy = read_pod<double>(is);
+  const auto cw = read_pod<double>(is);
+  const auto ch = read_pod<double>(is);
+  const auto has_nodata = read_pod<std::uint8_t>(is);
+  const auto nodata = read_pod<CellValue>(is);
+
+  DemRaster raster(rows, cols, GeoTransform(ox, oy, cw, ch));
+  if (has_nodata) raster.set_nodata(nodata);
+  auto cells = raster.cells();
+  is.read(reinterpret_cast<char*>(cells.data()),
+          static_cast<std::streamsize>(cells.size_bytes()));
+  ZH_REQUIRE_IO(is.good(), "truncated zgrid cell data in ", path);
+  return raster;
+}
+
+}  // namespace zh

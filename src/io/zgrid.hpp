@@ -1,0 +1,26 @@
+// .zgrid: the project's simple binary raster container.
+//
+// Layout (little-endian):
+//   magic   "ZGRD"            4 bytes
+//   version u32               currently 1
+//   rows    i64, cols i64
+//   geotransform              4 doubles: origin_x, origin_y, cell_w, cell_h
+//   nodata  u8 flag + u16 value
+//   cells   rows*cols u16, row-major
+// Stands in for the GeoTIFF inputs of the paper; benches and examples use
+// it to persist synthetic DEMs.
+#pragma once
+
+#include <string>
+
+#include "grid/raster.hpp"
+
+namespace zh {
+
+/// Write `raster` to `path`. Throws IoError on failure.
+void write_zgrid(const std::string& path, const DemRaster& raster);
+
+/// Read a .zgrid file. Throws IoError on malformed input.
+[[nodiscard]] DemRaster read_zgrid(const std::string& path);
+
+}  // namespace zh

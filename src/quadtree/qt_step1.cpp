@@ -1,0 +1,28 @@
+#include "quadtree/qt_step1.hpp"
+
+namespace zh {
+
+HistogramSet tile_histograms_from_quadtree(Device& device,
+                                           const RegionQuadtree& tree,
+                                           const TilingScheme& tiling,
+                                           BinIndex bins) {
+  ZH_REQUIRE(tiling.raster_rows() == tree.rows() &&
+                 tiling.raster_cols() == tree.cols(),
+             "tiling scheme does not match quadtree dims");
+  HistogramSet hist(tiling.tile_count(), bins);
+  if (tiling.tile_count() == 0) return hist;
+  BinCount* out = hist.flat().data();
+
+  device.launch_named(
+      "qt_hist_kernel", static_cast<std::uint32_t>(tiling.tile_count()),
+      [&](const BlockContext& ctx) {
+                  const TileId tile = ctx.block_id();
+                  const CellWindow w = tiling.tile_window(tile);
+                  tree.add_window_histogram(
+                      w, {out + static_cast<std::size_t>(tile) * bins,
+                          bins});
+                });
+  return hist;
+}
+
+}  // namespace zh

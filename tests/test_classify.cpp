@@ -1,0 +1,120 @@
+// Tile-classification soundness (DESIGN.md invariant 3): an inside tile
+// has every cell center inside the polygon; an outside tile has none.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/classify.hpp"
+#include "geom/pip.hpp"
+#include "test_util.hpp"
+
+namespace zh {
+namespace {
+
+TEST(SegmentBox, EndpointInsideCounts) {
+  const GeoBox box{0, 0, 10, 10};
+  EXPECT_TRUE(segment_intersects_box({5, 5}, {20, 20}, box));
+  EXPECT_TRUE(segment_intersects_box({20, 20}, {5, 5}, box));
+  EXPECT_TRUE(segment_intersects_box({1, 1}, {2, 2}, box));  // fully inside
+}
+
+TEST(SegmentBox, CrossingWithBothEndpointsOutside) {
+  const GeoBox box{0, 0, 10, 10};
+  EXPECT_TRUE(segment_intersects_box({-5, 5}, {15, 5}, box));
+  EXPECT_TRUE(segment_intersects_box({5, -5}, {5, 15}, box));
+  EXPECT_TRUE(segment_intersects_box({-1, -1}, {11, 11}, box));  // diagonal
+}
+
+TEST(SegmentBox, MissesAreRejected) {
+  const GeoBox box{0, 0, 10, 10};
+  EXPECT_FALSE(segment_intersects_box({-5, 12}, {15, 12}, box));
+  EXPECT_FALSE(segment_intersects_box({12, -5}, {12, 15}, box));
+  // Diagonal passing near the corner but outside.
+  EXPECT_FALSE(segment_intersects_box({10.5, -1}, {21, 9.5}, box));
+}
+
+TEST(SegmentBox, TouchingEdgeCounts) {
+  const GeoBox box{0, 0, 10, 10};
+  // Collinear with the right edge.
+  EXPECT_TRUE(segment_intersects_box({10, 2}, {10, 8}, box));
+  // Touches only the corner point.
+  EXPECT_TRUE(segment_intersects_box({10, 10}, {20, 10}, box));
+}
+
+TEST(SegmentBox, DegenerateSegment) {
+  const GeoBox box{0, 0, 10, 10};
+  EXPECT_TRUE(segment_intersects_box({5, 5}, {5, 5}, box));
+  EXPECT_FALSE(segment_intersects_box({15, 5}, {15, 5}, box));
+}
+
+TEST(Classify, SquareCases) {
+  const Polygon big({{{0, 0.5}, {100, 0.5}, {100, 100}, {0.5, 100}}});
+  EXPECT_EQ(classify_box(big, GeoBox{40, 40, 60, 60}),
+            TileRelation::kInside);
+  EXPECT_EQ(classify_box(big, GeoBox{-50, -50, -10, -10}),
+            TileRelation::kOutside);
+  EXPECT_EQ(classify_box(big, GeoBox{90, 90, 110, 110}),
+            TileRelation::kIntersect);
+}
+
+TEST(Classify, PolygonEntirelyInsideBoxIsIntersect) {
+  // From the tile's perspective a polygon inside the tile means the tile
+  // crosses the boundary -> per-cell tests required.
+  const Polygon small({{{4, 4}, {6, 4}, {6, 6}, {4, 6}}});
+  EXPECT_EQ(classify_box(small, GeoBox{0, 0, 10, 10}),
+            TileRelation::kIntersect);
+}
+
+TEST(Classify, BoxInsideHoleIsOutside) {
+  Polygon p({{{0.5, 0.5}, {20, 0.5}, {20, 20}, {0.5, 20}}});
+  p.add_ring({{5, 5}, {15, 5}, {15, 15}, {5, 15}});
+  EXPECT_EQ(classify_box(p, GeoBox{8, 8, 12, 12}), TileRelation::kOutside);
+  EXPECT_EQ(classify_box(p, GeoBox{1, 1, 3, 3}), TileRelation::kInside);
+  EXPECT_EQ(classify_box(p, GeoBox{4, 4, 6, 6}), TileRelation::kIntersect);
+}
+
+TEST(Classify, SoundnessPropertyOnRandomPolygons) {
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<double> coord(0.0, 10.0);
+  int inside_seen = 0;
+  int outside_seen = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Polygon poly = test::random_star_polygon(
+        rng, 5.0, 5.0, 4.5, 6 + trial % 15, trial % 4 == 0);
+    const GeoBox mbr = poly.mbr();
+    for (int k = 0; k < 60; ++k) {
+      const double x0 = coord(rng);
+      const double y0 = coord(rng);
+      const GeoBox box{x0, y0, x0 + 0.7, y0 + 0.7};
+      const TileRelation rel = classify_box(poly, mbr, box);
+      // Sample a 4x4 grid of interior points of the box.
+      for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+          const GeoPoint p{x0 + (i + 0.5) * 0.7 / 4,
+                           y0 + (j + 0.5) * 0.7 / 4};
+          const bool in = point_in_polygon(poly, p);
+          if (rel == TileRelation::kInside) {
+            ASSERT_TRUE(in) << "inside tile with outside cell";
+          } else if (rel == TileRelation::kOutside) {
+            ASSERT_FALSE(in) << "outside tile with inside cell";
+          }
+        }
+      }
+      inside_seen += rel == TileRelation::kInside;
+      outside_seen += rel == TileRelation::kOutside;
+    }
+  }
+  // The property must have been exercised on both decisive classes.
+  EXPECT_GT(inside_seen, 0);
+  EXPECT_GT(outside_seen, 0);
+}
+
+TEST(Classify, MbrPrefilterShortCircuits) {
+  const Polygon p({{{0, 0.5}, {1, 0.5}, {1, 1}, {0.5, 1}}});
+  // Box far away: outside purely from the MBR check.
+  EXPECT_EQ(classify_box(p, GeoBox{100, 100, 101, 101}),
+            TileRelation::kOutside);
+}
+
+}  // namespace
+}  // namespace zh

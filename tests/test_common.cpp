@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace zh {
+namespace {
+
+TEST(Types, DivUp) {
+  EXPECT_EQ(div_up(0, 4), 0u);
+  EXPECT_EQ(div_up(1, 4), 1u);
+  EXPECT_EQ(div_up(4, 4), 1u);
+  EXPECT_EQ(div_up(5, 4), 2u);
+  EXPECT_EQ(div_up(8, 4), 2u);
+  EXPECT_EQ(div_up(9, 4), 3u);
+}
+
+TEST(Types, TileRelationValuesMatchPaperEncoding) {
+  // The paper encodes outside=0, inside=1, intersect=2.
+  EXPECT_EQ(static_cast<int>(TileRelation::kOutside), 0);
+  EXPECT_EQ(static_cast<int>(TileRelation::kInside), 1);
+  EXPECT_EQ(static_cast<int>(TileRelation::kIntersect), 2);
+}
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    ZH_REQUIRE(1 == 2, "custom context ", 42);
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom context 42"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(ZH_REQUIRE(true, "never"));
+}
+
+TEST(Error, IoErrorIsError) {
+  EXPECT_THROW(throw IoError("x"), Error);
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+}
+
+TEST(Timer, Monotonic) {
+  Timer t;
+  const double a = t.seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GT(b, a);
+  t.reset();
+  EXPECT_LT(t.seconds(), b);
+}
+
+TEST(Timer, MillisConsistentWithSeconds) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const double s = t.seconds();
+  const double ms = t.millis();
+  EXPECT_GE(ms, s * 1e3);  // millis read later, so at least as large
+}
+
+TEST(StepTimes, TotalsAndAccumulate) {
+  StepTimes a;
+  a.seconds = {1.0, 2.0, 0.5, 0.25, 4.0};
+  a.overhead = 0.25;
+  EXPECT_DOUBLE_EQ(a.step_total(), 7.75);
+  EXPECT_DOUBLE_EQ(a.end_to_end(), 8.0);
+
+  StepTimes b;
+  b.seconds = {0.5, 0.5, 0.5, 0.5, 0.5};
+  b.overhead = 0.5;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.seconds[0], 1.5);
+  EXPECT_DOUBLE_EQ(a.seconds[4], 4.5);
+  EXPECT_DOUBLE_EQ(a.overhead, 0.75);
+}
+
+TEST(StepTimes, MaxWithIsElementwise) {
+  StepTimes a;
+  a.seconds = {1, 5, 1, 5, 1};
+  a.overhead = 2;
+  StepTimes b;
+  b.seconds = {2, 4, 2, 4, 2};
+  b.overhead = 1;
+  const StepTimes m = a.max_with(b);
+  EXPECT_DOUBLE_EQ(m.seconds[0], 2);
+  EXPECT_DOUBLE_EQ(m.seconds[1], 5);
+  EXPECT_DOUBLE_EQ(m.seconds[2], 2);
+  EXPECT_DOUBLE_EQ(m.seconds[3], 5);
+  EXPECT_DOUBLE_EQ(m.seconds[4], 2);
+  EXPECT_DOUBLE_EQ(m.overhead, 2);
+}
+
+TEST(StepTimes, StepNamesMatchTable2Rows) {
+  EXPECT_NE(StepTimes::step_name(0).find("decompression"),
+            std::string::npos);
+  EXPECT_NE(StepTimes::step_name(1).find("Per-tile"), std::string::npos);
+  EXPECT_NE(StepTimes::step_name(4).find("Cell-in-polygon"),
+            std::string::npos);
+  EXPECT_EQ(StepTimes::step_name(99), "unknown step");
+}
+
+}  // namespace
+}  // namespace zh

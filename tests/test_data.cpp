@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "data/conus.hpp"
+#include "data/county_synth.hpp"
+#include "data/dem_synth.hpp"
+#include "geom/pip.hpp"
+
+namespace zh {
+namespace {
+
+TEST(DemSynth, DeterministicInSeed) {
+  const GeoTransform t(-100.0, 40.0, 0.01, 0.01);
+  const DemRaster a = generate_dem(50, 60, t, {.seed = 5});
+  const DemRaster b = generate_dem(50, 60, t, {.seed = 5});
+  const DemRaster c = generate_dem(50, 60, t, {.seed = 6});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(DemSynth, ValuesWithinRange) {
+  const DemParams p{.seed = 1, .max_value = 4999};
+  const DemRaster r =
+      generate_dem(100, 100, GeoTransform(-90, 35, 0.01, 0.01), p);
+  for (const CellValue v : r.cells()) ASSERT_LE(v, p.max_value);
+}
+
+TEST(DemSynth, SpatiallyCorrelated) {
+  // Neighboring cells must be far more similar than random pairs --
+  // the property driving BQ-Tree compressibility.
+  const DemRaster r =
+      generate_dem(200, 200, GeoTransform(-90, 35, 1.0 / 3600, 1.0 / 3600));
+  double neighbor_diff = 0.0;
+  double far_diff = 0.0;
+  int n = 0;
+  for (std::int64_t i = 0; i < 199; ++i) {
+    neighbor_diff += std::abs(static_cast<double>(r.at(i, 100)) -
+                              static_cast<double>(r.at(i + 1, 100)));
+    far_diff += std::abs(static_cast<double>(r.at(i, 10)) -
+                         static_cast<double>(r.at(199 - i, 190)));
+    ++n;
+  }
+  EXPECT_LT(neighbor_diff / n, 0.2 * (far_diff / n + 1.0));
+}
+
+TEST(DemSynth, BorderConsistencyAcrossAdjacentRasters) {
+  // Two rasters meeting at lon -100: elevations are a pure function of
+  // geography, so the shared column of cell centers must agree.
+  const DemParams params{.seed = 9};
+  const GeoTransform left(-101.0, 40.0, 0.01, 0.01);
+  const GeoTransform right(-100.0, 40.0, 0.01, 0.01);
+  const DemRaster a = generate_dem(50, 100, left, params);
+  const DemRaster b = generate_dem(50, 100, right, params);
+  for (std::int64_t r = 0; r < 50; ++r) {
+    const GeoPoint pa = left.cell_center(r, 99);
+    const GeoPoint pb = right.cell_center(r, 0);
+    EXPECT_EQ(a.at(r, 99), dem_elevation(pa.x, pa.y, params));
+    EXPECT_EQ(b.at(r, 0), dem_elevation(pb.x, pb.y, params));
+  }
+}
+
+TEST(CountySynth, ProducesRequestedZoneGrid) {
+  const GeoBox extent{-10, -10, 10, 10};
+  CountyParams p;
+  p.grid_x = 5;
+  p.grid_y = 4;
+  const PolygonSet set = generate_counties(extent, p);
+  EXPECT_EQ(set.size(), 20u);
+  for (PolygonId id = 0; id < set.size(); ++id) {
+    EXPECT_GE(set[id].vertex_count(), 3u);
+    EXPECT_TRUE(extent.contains(set[id].mbr()))
+        << "zone " << id << " escapes the extent";
+  }
+}
+
+TEST(CountySynth, DeterministicInSeed) {
+  const GeoBox extent{0.5, 0.5, 20, 20};
+  CountyParams p;
+  p.seed = 42;
+  const PolygonSet a = generate_counties(extent, p);
+  const PolygonSet b = generate_counties(extent, p);
+  ASSERT_EQ(a.size(), b.size());
+  for (PolygonId i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].area(), b[i].area());
+  }
+}
+
+TEST(CountySynth, CoverageIsNearlyExactPartition) {
+  // Space-filling property: nearly every sampled point lies in exactly
+  // one zone (shared edges are displaced identically from both sides;
+  // only snapping slivers may deviate).
+  const GeoBox extent{0.5, 0.5, 12.5, 10.5};
+  CountyParams p;
+  p.grid_x = 6;
+  p.grid_y = 5;
+  const PolygonSet set = generate_counties(extent, p);
+
+  int exactly_one = 0;
+  int total = 0;
+  int more_than_two = 0;
+  for (int i = 0; i < 120; ++i) {
+    for (int j = 0; j < 100; ++j) {
+      const GeoPoint pt{extent.min_x + (i + 0.5) * extent.width() / 120,
+                        extent.min_y + (j + 0.5) * extent.height() / 100};
+      int hits = 0;
+      for (PolygonId id = 0; id < set.size(); ++id) {
+        hits += point_in_polygon(set[id], pt);
+      }
+      ++total;
+      exactly_one += hits == 1;
+      more_than_two += hits > 2;
+    }
+  }
+  EXPECT_GE(exactly_one, total * 99 / 100)
+      << exactly_one << "/" << total << " points in exactly one zone";
+  EXPECT_EQ(more_than_two, 0);
+}
+
+TEST(CountySynth, HolesProduceMultiRingZones) {
+  const GeoBox extent{0.5, 0.5, 20, 20};
+  CountyParams p;
+  p.grid_x = 4;
+  p.grid_y = 4;
+  p.hole_every = 4;
+  const PolygonSet set = generate_counties(extent, p);
+  int multi = 0;
+  for (PolygonId id = 0; id < set.size(); ++id) {
+    multi += set[id].ring_count() > 1;
+  }
+  EXPECT_EQ(multi, 4);
+}
+
+TEST(CountySynth, RejectsBadParams) {
+  CountyParams p;
+  p.grid_x = 0;
+  EXPECT_THROW(generate_counties({0, 0, 1, 1}, p), InvalidArgument);
+  p.grid_x = 2;
+  p.jitter = 0.6;
+  EXPECT_THROW(generate_counties({0, 0, 1, 1}, p), InvalidArgument);
+}
+
+TEST(Conus, Table1TotalsMatchThePaper) {
+  EXPECT_EQ(conus::table1().size(), 6u);          // 6 rasters
+  EXPECT_EQ(conus::total_partitions(), 36);       // 36 partitions
+  EXPECT_EQ(conus::total_cells(1), 20'165'760'000LL);  // Table 1 total
+}
+
+TEST(Conus, RastersDoNotOverlap) {
+  const auto& specs = conus::table1();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      const GeoBox a = specs[i].extent();
+      const GeoBox b = specs[j].extent();
+      const double ox = std::min(a.max_x, b.max_x) -
+                        std::max(a.min_x, b.min_x);
+      const double oy = std::min(a.max_y, b.max_y) -
+                        std::max(a.min_y, b.min_y);
+      EXPECT_FALSE(ox > 1e-9 && oy > 1e-9)
+          << specs[i].name << " overlaps " << specs[j].name;
+    }
+  }
+}
+
+TEST(Conus, ScalingShrinksQuadratically) {
+  const auto& s = conus::table1().front();
+  EXPECT_EQ(s.cells_at(1), 900 * s.cells_at(30));
+  EXPECT_EQ(conus::total_cells(60),
+            conus::total_cells(1) / (60LL * 60LL));
+}
+
+TEST(Conus, TileSizeMatchesPaperGeometry) {
+  EXPECT_EQ(conus::tile_size_cells(1), 360);   // 0.1 deg at 30 m
+  EXPECT_EQ(conus::tile_size_cells(30), 12);
+  EXPECT_THROW(conus::tile_size_cells(7), InvalidArgument);
+  EXPECT_THROW(conus::tile_size_cells(3600), InvalidArgument);
+}
+
+TEST(Conus, GenerateRasterMatchesSpecDims) {
+  const auto& spec = conus::table1()[3];  // 10 x 12 degrees
+  const int scale = 120;                  // 30 cells/deg
+  const DemRaster r = conus::generate_raster(spec, scale);
+  EXPECT_EQ(r.rows(), 10 * 30);
+  EXPECT_EQ(r.cols(), 12 * 30);
+  const GeoBox e = r.extent();
+  EXPECT_NEAR(e.min_x, spec.origin_x, 1e-9);
+  EXPECT_NEAR(e.max_y, spec.origin_y, 1e-9);
+}
+
+TEST(Conus, CountyLayerSpansTheExtentAndHasMultiRings) {
+  const PolygonSet counties = conus::generate_county_layer(40);
+  EXPECT_GE(counties.size(), 40u);
+  int multi = 0;
+  for (PolygonId id = 0; id < counties.size(); ++id) {
+    multi += counties[id].ring_count() > 1;
+  }
+  EXPECT_GT(multi, 0);  // every 10th zone has a hole
+  const GeoBox full = conus::full_extent();
+  const GeoBox got = counties.extent();
+  EXPECT_GT(got.width(), 0.8 * full.width());
+  EXPECT_GT(got.height(), 0.8 * full.height());
+}
+
+}  // namespace
+}  // namespace zh

@@ -1,0 +1,137 @@
+// Geometry corner cases: the degenerate configurations ray-crossing
+// code is notorious for (horizontal edges on the test row, vertices on
+// the ray, needle polygons, coordinate extremes).
+#include <gtest/gtest.h>
+
+#include "data/county_synth.hpp"
+#include "geom/classify.hpp"
+#include "geom/pip.hpp"
+#include "geom/soa.hpp"
+#include "geom/wkt.hpp"
+#include "test_util.hpp"
+
+namespace zh {
+namespace {
+
+TEST(PipEdgeCases, HorizontalEdgeOnTestRow) {
+  // Rectangle whose bottom edge lies exactly on the ray through y = 1.
+  const Polygon p({{{0, 1}, {4, 1}, {4, 3}, {0, 3}}});
+  // Points on the interior side of the horizontal edge's row.
+  EXPECT_TRUE(point_in_polygon(p, {2.0, 2.0}));
+  // Points on the edge's own row, left and right of the rectangle: the
+  // half-open rule must count the two vertical crossings consistently.
+  EXPECT_FALSE(point_in_polygon(p, {-1.0, 1.0}) &&
+               point_in_polygon(p, {5.0, 1.0}));
+  // Above the top edge's row: outside.
+  EXPECT_FALSE(point_in_polygon(p, {2.0, 3.5}));
+}
+
+TEST(PipEdgeCases, RayThroughVertexCountsOnce) {
+  // Triangle with a vertex exactly at the test row: the (y0<=py<y1)
+  // half-open rule must not double count the two edges meeting there.
+  const Polygon tri({{{0, 0}, {4, 2}, {0, 4}}});
+  EXPECT_TRUE(point_in_polygon(tri, {1.0, 2.0}));   // inside, same row
+  EXPECT_FALSE(point_in_polygon(tri, {5.0, 2.0}));  // right of the apex
+  EXPECT_FALSE(point_in_polygon(tri, {-1.0, 2.0})); // outside-left
+}
+
+TEST(PipEdgeCases, NeedlePolygon) {
+  const Polygon needle({{{0, 0}, {10, 0.001}, {0, 0.002}}});
+  EXPECT_TRUE(point_in_polygon(needle, {1.0, 0.001}));
+  EXPECT_FALSE(point_in_polygon(needle, {1.0, 0.1}));
+  EXPECT_FALSE(point_in_polygon(needle, {11.0, 0.001}));
+}
+
+TEST(PipEdgeCases, TinyPolygonFarFromOrigin) {
+  // Large coordinates stress the intercept arithmetic.
+  const double base = 1e7;
+  const Polygon p({{{base, base}, {base + 0.002, base},
+                    {base + 0.002, base + 0.002}, {base, base + 0.002}}});
+  EXPECT_TRUE(point_in_polygon(p, {base + 0.001, base + 0.001}));
+  EXPECT_FALSE(point_in_polygon(p, {base + 0.01, base + 0.001}));
+}
+
+TEST(PipEdgeCases, NegativeCoordinates) {
+  const Polygon p({{{-10, -10}, {-5, -10}, {-5, -5}, {-10, -5}}});
+  EXPECT_TRUE(point_in_polygon(p, {-7.5, -7.5}));
+  EXPECT_FALSE(point_in_polygon(p, {-4.0, -7.5}));
+  // SoA form agrees even with negative data (sentinel is (0,0)).
+  PolygonSet set;
+  set.add(p);
+  const PolygonSoA soa = PolygonSoA::build(set);
+  EXPECT_TRUE(point_in_polygon_soa(soa, 0, -7.5, -7.5));
+  EXPECT_FALSE(point_in_polygon_soa(soa, 0, -4.0, -7.5));
+}
+
+TEST(PipEdgeCases, ManyRings) {
+  // Ten concentric square rings: parity alternates inside each band.
+  Polygon p;
+  for (int k = 0; k < 10; ++k) {
+    const double r = 20.0 - k;
+    p.add_ring({{-r, -r}, {r, -r}, {r, r}, {-r, r}});
+  }
+  for (int k = 0; k < 9; ++k) {
+    const double x = 20.0 - k - 0.5;  // inside band k
+    EXPECT_EQ(point_in_polygon(p, {x, 0.1}), k % 2 == 0) << "band " << k;
+  }
+  PolygonSet set;
+  set.add(p);
+  const PolygonSoA soa = PolygonSoA::build(set);
+  for (int k = 0; k < 9; ++k) {
+    const double x = 20.0 - k - 0.5;
+    EXPECT_EQ(point_in_polygon_soa(soa, 0, x, 0.1), k % 2 == 0);
+  }
+}
+
+TEST(ClassifyEdgeCases, TileExactlyMatchingPolygon) {
+  const Polygon square({{{2, 2}, {4, 2}, {4, 4}, {2, 4}}});
+  // Box identical to the polygon: edges touch -> intersect.
+  EXPECT_EQ(classify_box(square, GeoBox{2, 2, 4, 4}),
+            TileRelation::kIntersect);
+  // Box strictly inside.
+  EXPECT_EQ(classify_box(square, GeoBox{2.5, 2.5, 3.5, 3.5}),
+            TileRelation::kInside);
+  // Box sharing one edge only.
+  EXPECT_EQ(classify_box(square, GeoBox{4, 2, 6, 4}),
+            TileRelation::kIntersect);
+}
+
+TEST(ClassifyEdgeCases, ZeroAreaBox) {
+  const Polygon square({{{2, 2}, {4, 2}, {4, 4}, {2, 4}}});
+  // Degenerate (line/point) boxes still classify consistently.
+  EXPECT_EQ(classify_box(square, GeoBox{3, 3, 3, 3}),
+            TileRelation::kInside);
+  EXPECT_EQ(classify_box(square, GeoBox{10, 10, 10, 10}),
+            TileRelation::kOutside);
+}
+
+TEST(SoaEdgeCases, CountyLayerWithHolesFlattensAndAgrees) {
+  // The real multi-ring generator output, cross-checked object vs SoA
+  // on a dense grid.
+  CountyParams cp;
+  cp.grid_x = 3;
+  cp.grid_y = 3;
+  cp.hole_every = 2;
+  const PolygonSet zones =
+      generate_counties(GeoBox{0.5, 0.5, 9.5, 9.5}, cp);
+  const PolygonSoA soa = PolygonSoA::build(zones);
+  for (PolygonId z = 0; z < zones.size(); ++z) {
+    for (double y = 0.7; y < 9.5; y += 0.83) {
+      for (double x = 0.7; x < 9.5; x += 0.79) {
+        ASSERT_EQ(point_in_polygon(zones[z], {x, y}),
+                  point_in_polygon_soa(soa, z, x, y))
+            << "zone " << z << " at " << x << "," << y;
+      }
+    }
+  }
+}
+
+TEST(WktEdgeCases, WhitespaceAndCaseTolerance) {
+  const Polygon a = parse_wkt("  PoLyGoN(( 0 0 ,4 0, 4 4 ,0 4 , 0 0 ))  ");
+  EXPECT_DOUBLE_EQ(a.area(), 16.0);
+  const Polygon b = parse_wkt("POLYGON((0 0,4 0,4 4,0 4))");
+  EXPECT_DOUBLE_EQ(b.area(), 16.0);
+}
+
+}  // namespace
+}  // namespace zh

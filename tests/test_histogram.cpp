@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/histogram.hpp"
+
+namespace zh {
+namespace {
+
+TEST(HistogramSet, ShapeAndAccess) {
+  HistogramSet h(3, 10);
+  EXPECT_EQ(h.groups(), 3u);
+  EXPECT_EQ(h.bins(), 10u);
+  EXPECT_EQ(h.flat().size(), 30u);
+  h.of(1)[4] = 7;
+  EXPECT_EQ(h.flat()[14], 7u);
+  EXPECT_EQ(h.group_total(1), 7u);
+  EXPECT_EQ(h.group_total(0), 0u);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_THROW(h.of(3), InvalidArgument);
+}
+
+TEST(HistogramSet, AddAccumulatesElementwise) {
+  HistogramSet a(2, 4);
+  HistogramSet b(2, 4);
+  a.of(0)[1] = 3;
+  b.of(0)[1] = 4;
+  b.of(1)[2] = 5;
+  a.add(b);
+  EXPECT_EQ(a.of(0)[1], 7u);
+  EXPECT_EQ(a.of(1)[2], 5u);
+  HistogramSet c(2, 5);
+  EXPECT_THROW(a.add(c), InvalidArgument);
+}
+
+TEST(HistogramSet, EqualityAndZeroInit) {
+  HistogramSet a(2, 3);
+  HistogramSet b(2, 3);
+  EXPECT_EQ(a, b);
+  for (const BinCount v : a.flat()) EXPECT_EQ(v, 0u);
+  a.of(0)[0] = 1;
+  EXPECT_NE(a, b);
+}
+
+TEST(HistogramSet, RejectsZeroBins) {
+  EXPECT_THROW(HistogramSet(1, 0), InvalidArgument);
+}
+
+TEST(ZonalStats, BasicMoments) {
+  HistogramSet h(1, 10);
+  // Values: 2 x3, 5 x1 -> count 4, mean (6+5)/4 = 2.75.
+  h.of(0)[2] = 3;
+  h.of(0)[5] = 1;
+  const ZonalStats s = stats_from_histogram(h.of(0));
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.min, 2u);
+  EXPECT_EQ(s.max, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.75);
+  // Population variance: (3*(2-2.75)^2 + (5-2.75)^2)/4 = 1.6875.
+  EXPECT_NEAR(s.stddev * s.stddev, 1.6875, 1e-12);
+}
+
+TEST(ZonalStats, EmptyHistogram) {
+  HistogramSet h(1, 5);
+  const ZonalStats s = stats_from_histogram(h.of(0));
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(ZonalStats, SingleBin) {
+  HistogramSet h(1, 5);
+  h.of(0)[3] = 100;
+  const ZonalStats s = stats_from_histogram(h.of(0));
+  EXPECT_EQ(s.min, 3u);
+  EXPECT_EQ(s.max, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(HistogramDistance, L1) {
+  HistogramSet a(1, 4);
+  HistogramSet b(1, 4);
+  a.of(0)[0] = 5;
+  a.of(0)[2] = 1;
+  b.of(0)[0] = 2;
+  b.of(0)[3] = 7;
+  EXPECT_EQ(histogram_l1_distance(a.of(0), b.of(0)), 3u + 1u + 7u);
+  EXPECT_EQ(histogram_l1_distance(a.of(0), a.of(0)), 0u);
+  HistogramSet c(1, 5);
+  EXPECT_THROW(histogram_l1_distance(a.of(0), c.of(0)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace zh

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "core/lazy_pipeline.hpp"
+#include "data/dem_synth.hpp"
+#include "test_util.hpp"
+
+namespace zh {
+namespace {
+
+struct LazyCase {
+  std::uint32_t seed;
+  std::int64_t tile;
+  int zone_count;
+  bool holes;
+};
+
+class LazySweep : public ::testing::TestWithParam<LazyCase> {};
+
+INSTANTIATE_TEST_SUITE_P(Cases, LazySweep,
+                         ::testing::Values(LazyCase{1, 10, 6, false},
+                                           LazyCase{2, 16, 10, true},
+                                           LazyCase{3, 7, 3, true},
+                                           LazyCase{4, 32, 1, false}));
+
+TEST_P(LazySweep, MatchesEagerCompressedRun) {
+  const LazyCase c = GetParam();
+  Device dev;
+  const DemRaster raster = generate_dem(
+      96, 112, GeoTransform(0.0, 9.6, 0.1, 0.1),
+      {.seed = c.seed, .max_value = 199});
+  const BqCompressedRaster compressed =
+      BqCompressedRaster::encode(raster, c.tile);
+  const PolygonSet zones = test::random_polygon_set(
+      c.seed * 7, GeoBox{0.5, 0.5, 10.7, 9.1}, c.zone_count, c.holes);
+
+  const ZonalConfig cfg{.tile_size = c.tile, .bins = 200};
+  LazyCounters counters;
+  const ZonalResult lazy =
+      run_lazy(dev, compressed, zones, cfg, &counters);
+  const ZonalPipeline pipe(dev, cfg);
+  const ZonalResult eager = pipe.run(compressed, zones);
+
+  EXPECT_EQ(lazy.per_polygon, eager.per_polygon);
+  EXPECT_EQ(lazy.work.pairs_inside, eager.work.pairs_inside);
+  EXPECT_EQ(lazy.work.pairs_intersect, eager.work.pairs_intersect);
+  EXPECT_EQ(counters.tiles_total,
+            static_cast<std::uint64_t>(compressed.tiling().tile_count()));
+  EXPECT_LE(counters.tiles_decoded, counters.tiles_total);
+  EXPECT_LE(counters.tiles_histogrammed, counters.tiles_decoded);
+}
+
+TEST(LazyPipeline, SkipsTilesOutsideEveryZone) {
+  Device dev;
+  // Zones confined to the western quarter: most tiles stay compressed.
+  const DemRaster raster = generate_dem(
+      80, 160, GeoTransform(0.0, 8.0, 0.1, 0.1), {.max_value = 99});
+  const BqCompressedRaster compressed =
+      BqCompressedRaster::encode(raster, 8);
+  const PolygonSet zones = test::random_polygon_set(
+      5, GeoBox{0.3, 0.3, 3.7, 7.7}, 5, false);
+
+  LazyCounters counters;
+  const ZonalResult lazy = run_lazy(dev, compressed, zones,
+                                    {.tile_size = 8, .bins = 100},
+                                    &counters);
+  EXPECT_GT(counters.tiles_decoded, 0u);
+  EXPECT_LT(counters.tiles_decoded, counters.tiles_total / 2)
+      << "western zones should leave most of the raster compressed";
+  // And still exact.
+  const ZonalPipeline pipe(dev, {.tile_size = 8, .bins = 100});
+  EXPECT_EQ(lazy.per_polygon, pipe.run(raster, zones).per_polygon);
+}
+
+TEST(LazyPipeline, EmptyZoneLayerDecodesNothing) {
+  Device dev;
+  const DemRaster raster = test::random_raster(40, 40, 1, 9);
+  const BqCompressedRaster compressed =
+      BqCompressedRaster::encode(raster, 8);
+  LazyCounters counters;
+  const ZonalResult r = run_lazy(dev, compressed, PolygonSet{},
+                                 {.tile_size = 8, .bins = 10}, &counters);
+  EXPECT_EQ(counters.tiles_decoded, 0u);
+  EXPECT_EQ(counters.cells_decoded, 0u);
+  EXPECT_EQ(r.per_polygon.groups(), 0u);
+}
+
+TEST(LazyPipeline, TileSizeMismatchThrows) {
+  Device dev;
+  const DemRaster raster = test::random_raster(40, 40, 1, 9);
+  const BqCompressedRaster compressed =
+      BqCompressedRaster::encode(raster, 8);
+  EXPECT_THROW(run_lazy(dev, compressed, PolygonSet{},
+                        {.tile_size = 10, .bins = 10}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace zh

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/cluster_driver.hpp"
+#include "core/load_balance.hpp"
+#include "data/county_synth.hpp"
+#include "data/dem_synth.hpp"
+
+namespace zh {
+namespace {
+
+std::vector<RasterPartition> fake_parts(std::size_t n) {
+  std::vector<RasterPartition> parts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    parts[i].window = CellWindow{0, 0, 10, 10};
+  }
+  return parts;
+}
+
+TEST(LoadBalance, LptBeatsRoundRobinOnSkewedCosts) {
+  // Costs shaped like the paper's edge-partition skew: a few heavy
+  // interior partitions, many light edge partitions.
+  const std::vector<double> costs = {100, 90, 80, 5, 4, 3, 2, 1, 1, 1,
+                                     1,   1,  1, 1, 1, 1};
+  auto rr = fake_parts(costs.size());
+  assign_round_robin(rr, 4);
+  auto lpt = fake_parts(costs.size());
+  assign_least_loaded(lpt, 4, costs);
+
+  const double rr_imb = assignment_imbalance(rr, 4, costs);
+  const double lpt_imb = assignment_imbalance(lpt, 4, costs);
+  EXPECT_LT(lpt_imb, rr_imb);
+  EXPECT_GE(lpt_imb, 1.0);
+  // LPT is a 4/3-approximation of the optimal makespan; the optimal
+  // makespan is bounded below by both the mean load and the heaviest
+  // single partition.
+  const double total = std::accumulate(costs.begin(), costs.end(), 0.0);
+  const double opt_lb =
+      std::max(total / 4.0, *std::max_element(costs.begin(), costs.end()));
+  const double lpt_makespan = lpt_imb * (total / 4.0);
+  EXPECT_LE(lpt_makespan, (4.0 / 3.0) * opt_lb + 1e-9);
+}
+
+TEST(LoadBalance, AllRanksUsedWhenPartitionsSuffice) {
+  const std::vector<double> costs(10, 1.0);
+  auto parts = fake_parts(10);
+  assign_least_loaded(parts, 5, costs);
+  std::vector<int> counts(5, 0);
+  for (const auto& p : parts) ++counts[p.owner];
+  for (const int c : counts) EXPECT_EQ(c, 2);
+}
+
+TEST(LoadBalance, ImbalanceOfPerfectAssignmentIsOne) {
+  const std::vector<double> costs = {2, 2, 2, 2};
+  auto parts = fake_parts(4);
+  assign_round_robin(parts, 2);
+  EXPECT_DOUBLE_EQ(assignment_imbalance(parts, 2, costs), 1.0);
+}
+
+TEST(LoadBalance, SizeMismatchThrows) {
+  auto parts = fake_parts(3);
+  EXPECT_THROW(assign_least_loaded(parts, 2, {1.0}), InvalidArgument);
+  EXPECT_THROW(assignment_imbalance(parts, 2, {1.0}), InvalidArgument);
+}
+
+TEST(LoadBalance, EstimatedCostsReflectPolygonCoverage) {
+  // Two partitions of the same size; zones cover only the western one,
+  // so its estimated cost must be strictly higher (Step-4 term).
+  const GeoTransform t(0.0, 8.0, 0.1, 0.1);  // 80x160 cells over 16x8
+  std::vector<RasterPartition> parts;
+  parts.push_back({0, CellWindow{0, 0, 80, 80}, 0});
+  parts.push_back({0, CellWindow{0, 80, 80, 80}, 0});
+
+  CountyParams cp;
+  cp.grid_x = 3;
+  cp.grid_y = 3;
+  const PolygonSet west_zones =
+      generate_counties(GeoBox{0.3, 0.3, 7.7, 7.7}, cp);
+
+  const auto costs =
+      estimate_partition_costs(parts, {t}, 8, west_zones);
+  ASSERT_EQ(costs.size(), 2u);
+  EXPECT_GT(costs[0], costs[1]);
+  EXPECT_GT(costs[1], 0.0);  // cell term present even with no zones
+}
+
+TEST(LoadBalance, CostBalancedClusterRunGivesIdenticalResult) {
+  const DemParams dp{.seed = 31, .max_value = 49};
+  std::vector<DemRaster> rasters;
+  rasters.push_back(
+      generate_dem(96, 96, GeoTransform(0.0, 9.6, 0.1, 0.1), dp));
+  const std::vector<std::pair<int, int>> schemas = {{3, 2}};
+  CountyParams cp;
+  cp.seed = 9;
+  cp.grid_x = 4;
+  cp.grid_y = 4;
+  const PolygonSet zones =
+      generate_counties(GeoBox{-0.4, -0.4, 10.0, 10.0}, cp);
+
+  ClusterRunConfig rr;
+  rr.ranks = 3;
+  rr.zonal = {.tile_size = 16, .bins = 50};
+  ClusterRunConfig lpt = rr;
+  lpt.assignment = PartitionAssignment::kCostBalanced;
+
+  const auto a = run_cluster_zonal(rasters, schemas, zones, rr);
+  const auto b = run_cluster_zonal(rasters, schemas, zones, lpt);
+  EXPECT_EQ(a.merged, b.merged);
+}
+
+}  // namespace
+}  // namespace zh

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/step1_tile_hist.hpp"
+#include "grid/morton.hpp"
+#include "test_util.hpp"
+
+namespace zh {
+namespace {
+
+TEST(Morton, EncodeDecodeRoundTrip) {
+  for (std::uint32_t r : {0u, 1u, 2u, 17u, 255u, 1000u, 65535u}) {
+    for (std::uint32_t c : {0u, 1u, 3u, 100u, 4095u, 65535u}) {
+      const std::uint32_t code = morton_encode(r, c);
+      const MortonCell cell = morton_decode(code);
+      ASSERT_EQ(cell.row, r);
+      ASSERT_EQ(cell.col, c);
+    }
+  }
+}
+
+TEST(Morton, KnownCodes) {
+  // Z-order within a 2x2 block: (0,0)=0, (0,1)=1, (1,0)=2, (1,1)=3.
+  EXPECT_EQ(morton_encode(0, 0), 0u);
+  EXPECT_EQ(morton_encode(0, 1), 1u);
+  EXPECT_EQ(morton_encode(1, 0), 2u);
+  EXPECT_EQ(morton_encode(1, 1), 3u);
+  EXPECT_EQ(morton_encode(2, 2), 12u);
+}
+
+TEST(Morton, CodesAreUnique) {
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t r = 0; r < 64; ++r) {
+    for (std::uint32_t c = 0; c < 64; ++c) {
+      ASSERT_TRUE(seen.insert(morton_encode(r, c)).second);
+    }
+  }
+}
+
+TEST(Morton, ForEachCellVisitsEveryCellOnceInBothOrders) {
+  for (const CellOrder order : {CellOrder::kRowMajor, CellOrder::kMorton}) {
+    for (const auto [rows, cols] :
+         {std::pair{1u, 1u}, std::pair{7u, 5u}, std::pair{16u, 16u},
+          std::pair{3u, 33u}}) {
+      std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+      for_each_cell(rows, cols, order, [&](std::uint32_t r,
+                                           std::uint32_t c) {
+        ASSERT_LT(r, rows);
+        ASSERT_LT(c, cols);
+        ASSERT_TRUE(seen.emplace(r, c).second);
+      });
+      ASSERT_EQ(seen.size(), static_cast<std::size_t>(rows) * cols)
+          << "order " << static_cast<int>(order) << " " << rows << "x"
+          << cols;
+    }
+  }
+}
+
+TEST(Morton, RowMajorOrderIsRowMajor) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> visits;
+  for_each_cell(3, 2, CellOrder::kRowMajor,
+                [&](std::uint32_t r, std::uint32_t c) {
+                  visits.emplace_back(r, c);
+                });
+  EXPECT_EQ(visits,
+            (std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+                {0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {2, 1}}));
+}
+
+TEST(Morton, MortonOrderPreservesLocality) {
+  // Mean Chebyshev distance between consecutive visits must be smaller
+  // in Z-order than the worst case and bounded; mostly it's 1.
+  std::vector<MortonCell> visits;
+  for_each_cell(64, 64, CellOrder::kMorton,
+                [&](std::uint32_t r, std::uint32_t c) {
+                  visits.push_back({r, c});
+                });
+  double total = 0;
+  for (std::size_t i = 1; i < visits.size(); ++i) {
+    const auto dr = static_cast<double>(visits[i].row) -
+                    static_cast<double>(visits[i - 1].row);
+    const auto dc = static_cast<double>(visits[i].col) -
+                    static_cast<double>(visits[i - 1].col);
+    total += std::max(std::abs(dr), std::abs(dc));
+  }
+  EXPECT_LT(total / static_cast<double>(visits.size() - 1), 2.0);
+}
+
+TEST(Morton, EmptyWindow) {
+  int count = 0;
+  for_each_cell(0, 10, CellOrder::kMorton, [&](auto, auto) { ++count; });
+  for_each_cell(10, 0, CellOrder::kRowMajor, [&](auto, auto) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Morton, Step1ResultIndependentOfCellOrder) {
+  Device dev;
+  const DemRaster r = test::random_raster(100, 90, 3, 255);
+  const TilingScheme tiling(r.rows(), r.cols(), 16);
+  const HistogramSet a = tile_histograms(dev, r, tiling, 256,
+                                         CountMode::kAtomic,
+                                         CellOrder::kRowMajor);
+  const HistogramSet b = tile_histograms(dev, r, tiling, 256,
+                                         CountMode::kAtomic,
+                                         CellOrder::kMorton);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace zh

@@ -1,0 +1,124 @@
+// Performance-model sanity: the projections must reproduce the *shape*
+// of Table 2 -- GTX Titan beats Quadro 6000 by about 2x end-to-end, with
+// the paper's per-step speedups, Step 4 dominant and Steps 2-3 minor.
+#include <gtest/gtest.h>
+
+#include "core/perf_model.hpp"
+
+namespace zh {
+namespace {
+
+// Work counters resembling the paper's full-scale CONUS workload.
+WorkCounters paper_scale_work() {
+  WorkCounters w;
+  w.cells_total = 20'165'760'000ull;
+  w.tiles_total = 155'600;
+  w.candidate_pairs = 700'000;
+  w.pairs_inside = 400'000;
+  w.pairs_intersect = 250'000;
+  w.aggregate_bin_adds = w.pairs_inside * 5000;
+  w.pip_cell_tests = w.pairs_intersect * 360ull * 360ull;
+  w.pip_edge_tests = w.pip_cell_tests * 80;
+  w.cells_in_polygons = 18'000'000'000ull;
+  w.compressed_bytes = 7'300'000'000ull;  // the paper's 7.3 GB
+  w.raw_bytes = 40'000'000'000ull;
+  return w;
+}
+
+TEST(PerfModel, TitanScaleIsUnity) {
+  for (std::size_t s = 0; s < StepTimes::kSteps; ++s) {
+    EXPECT_DOUBLE_EQ(
+        PerfModel::device_step_scale(DeviceProfile::gtx_titan(), s), 1.0);
+  }
+}
+
+TEST(PerfModel, QuadroScalesMatchPublishedSpeedups) {
+  const DeviceProfile q = DeviceProfile::quadro6000();
+  EXPECT_DOUBLE_EQ(1.0 / PerfModel::device_step_scale(q, 0), 2.0);
+  EXPECT_DOUBLE_EQ(1.0 / PerfModel::device_step_scale(q, 1), 1.6);
+  EXPECT_DOUBLE_EQ(PerfModel::device_step_scale(q, 2), 1.0);  // CPU step
+  EXPECT_DOUBLE_EQ(1.0 / PerfModel::device_step_scale(q, 4), 2.6);
+}
+
+TEST(PerfModel, ProjectionShapeMatchesTable2) {
+  const PerfModel model;
+  const WorkCounters w = paper_scale_work();
+  const StepTimes titan = model.project(w, DeviceProfile::gtx_titan());
+  const StepTimes quadro = model.project(w, DeviceProfile::quadro6000());
+
+  // Step ranking on both devices: step 4 > step 1 > steps 2,3.
+  for (const StepTimes& t : {titan, quadro}) {
+    EXPECT_GT(t.seconds[4], t.seconds[1]);
+    EXPECT_GT(t.seconds[1], t.seconds[2]);
+    EXPECT_GT(t.seconds[1], t.seconds[3]);
+  }
+
+  // Per-step speedups equal the published ratios.
+  EXPECT_NEAR(quadro.seconds[4] / titan.seconds[4], 2.6, 1e-9);
+  EXPECT_NEAR(quadro.seconds[1] / titan.seconds[1], 1.6, 1e-9);
+  EXPECT_NEAR(quadro.seconds[0] / titan.seconds[0], 2.0, 1e-9);
+
+  // End-to-end: Kepler roughly halves the Fermi runtime (paper: "the
+  // end-to-end runtimes is nearly reduced to half on GTX Titan").
+  const double ratio = quadro.end_to_end() / titan.end_to_end();
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.6);
+}
+
+TEST(PerfModel, K20SlightlySlowerThanTitan) {
+  const PerfModel model;
+  const WorkCounters w = paper_scale_work();
+  const StepTimes titan = model.project(w, DeviceProfile::gtx_titan());
+  const StepTimes k20 = model.project(w, DeviceProfile::k20());
+  // Paper: 60.7 s single K20 node vs 46 s GTX Titan (~1.3x).
+  const double ratio = k20.step_total() / titan.step_total();
+  EXPECT_GT(ratio, 1.05);
+  EXPECT_LT(ratio, 1.5);
+}
+
+TEST(PerfModel, DecodeStepOnlyChargedForCompressedInput) {
+  const PerfModel model;
+  WorkCounters w = paper_scale_work();
+  w.compressed_bytes = 0;
+  const StepTimes t = model.project(w, DeviceProfile::gtx_titan());
+  EXPECT_DOUBLE_EQ(t.seconds[0], 0.0);
+  EXPECT_GT(t.overhead, 0.0);  // raw upload still modeled
+}
+
+TEST(PerfModel, OverheadUsesCompressedUploadWhenAvailable) {
+  const PerfModel model;
+  WorkCounters w = paper_scale_work();
+  const StepTimes comp = model.project(w, DeviceProfile::gtx_titan());
+  w.compressed_bytes = 0;
+  const StepTimes raw = model.project(w, DeviceProfile::gtx_titan());
+  // 7.3 GB vs 40 GB at 2.5 GB/s: compression shrinks the upload time --
+  // the Sec. IV.B argument for BQ-Tree despite its decode cost.
+  EXPECT_LT(comp.overhead, raw.overhead);
+  EXPECT_NEAR(raw.overhead - comp.overhead,
+              (40.0 - 7.3) / 2.5, 0.2);
+}
+
+TEST(PerfModel, UnknownDeviceFallsBackToThroughputRatio) {
+  DeviceProfile slow = DeviceProfile::gtx_titan();
+  slow.name = "Hypothetical";
+  slow.cuda_cores /= 4;
+  const double s = PerfModel::device_step_scale(slow, 4);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+  EXPECT_DOUBLE_EQ(PerfModel::device_step_scale(slow, 2), 1.0);
+}
+
+TEST(PerfModel, ProjectionScalesLinearlyWithWork) {
+  const PerfModel model;
+  WorkCounters w = paper_scale_work();
+  const StepTimes t1 = model.project(w, DeviceProfile::gtx_titan());
+  w.cells_total *= 2;
+  w.pip_edge_tests *= 2;
+  const StepTimes t2 = model.project(w, DeviceProfile::gtx_titan());
+  EXPECT_NEAR(t2.seconds[1], 2.0 * t1.seconds[1], 1e-9);
+  EXPECT_NEAR(t2.seconds[4], 2.0 * t1.seconds[4], 1e-9);
+  EXPECT_DOUBLE_EQ(t2.seconds[2], t1.seconds[2]);
+}
+
+}  // namespace
+}  // namespace zh

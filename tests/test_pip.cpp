@@ -1,0 +1,139 @@
+// Point-in-polygon properties (DESIGN.md invariant 7): ray-crossing vs
+// winding number away from boundaries, multi-ring hole semantics, and
+// bit-exact agreement between the object form and the Fig.-5 SoA form.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/pip.hpp"
+#include "geom/soa.hpp"
+#include "test_util.hpp"
+
+namespace zh {
+namespace {
+
+Polygon square_poly(double x0, double y0, double side) {
+  return Polygon({{{x0, y0},
+                   {x0 + side, y0},
+                   {x0 + side, y0 + side},
+                   {x0, y0 + side}}});
+}
+
+TEST(Pip, SquareBasics) {
+  const Polygon sq = square_poly(1, 1, 2);
+  EXPECT_TRUE(point_in_polygon(sq, {2.0, 2.0}));
+  EXPECT_FALSE(point_in_polygon(sq, {0.5, 2.0}));
+  EXPECT_FALSE(point_in_polygon(sq, {3.5, 2.0}));
+  EXPECT_FALSE(point_in_polygon(sq, {2.0, 0.5}));
+  EXPECT_FALSE(point_in_polygon(sq, {2.0, 3.5}));
+}
+
+TEST(Pip, HoleSubtractsUnderEvenOdd) {
+  Polygon p = square_poly(0, 0, 10);
+  p.add_ring({{3, 3}, {7, 3}, {7, 7}, {3, 7}});
+  EXPECT_TRUE(point_in_polygon(p, {1, 1}));    // in outer, out of hole
+  EXPECT_FALSE(point_in_polygon(p, {5, 5}));   // inside hole
+  EXPECT_FALSE(point_in_polygon(p, {11, 5}));  // outside everything
+}
+
+TEST(Pip, DisjointPartsAdd) {
+  Polygon p = square_poly(0, 0, 1);
+  p.add_ring({{5, 5}, {6, 5}, {6, 6}, {5, 6}});
+  EXPECT_TRUE(point_in_polygon(p, {0.5, 0.5}));
+  EXPECT_TRUE(point_in_polygon(p, {5.5, 5.5}));
+  EXPECT_FALSE(point_in_polygon(p, {3.0, 3.0}));
+}
+
+TEST(Pip, ConcavePolygon) {
+  // A "U" shape: inside the notch is outside the polygon.
+  const Polygon u({{{0, 0},
+                    {6, 0},
+                    {6, 5},
+                    {4, 5},
+                    {4, 2},
+                    {2, 2},
+                    {2, 5},
+                    {0, 5}}});
+  EXPECT_TRUE(point_in_polygon(u, {1, 1}));
+  EXPECT_TRUE(point_in_polygon(u, {5, 4}));
+  EXPECT_FALSE(point_in_polygon(u, {3, 4}));  // in the notch
+  EXPECT_TRUE(point_in_polygon(u, {3, 1}));   // in the base
+}
+
+TEST(Pip, RayCrossingMatchesWindingNumberAwayFromBoundary) {
+  std::mt19937 rng(123);
+  std::uniform_real_distribution<double> coord(-3.0, 13.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Polygon poly = test::random_star_polygon(
+        rng, 5.0, 5.0, 4.0, 5 + trial % 20, /*with_hole=*/trial % 3 == 0);
+    for (int k = 0; k < 200; ++k) {
+      const GeoPoint p{coord(rng), coord(rng)};
+      // Star polygons are simple, so parity and winding agree exactly
+      // except on the boundary itself (measure zero for random points).
+      EXPECT_EQ(point_in_polygon(poly, p), winding_number(poly, p) != 0)
+          << "trial " << trial << " point (" << p.x << "," << p.y << ")";
+    }
+  }
+}
+
+TEST(Pip, SoaFormMatchesObjectFormBitExactly) {
+  std::mt19937 rng(77);
+  PolygonSet set;
+  for (int i = 0; i < 20; ++i) {
+    set.add(test::random_star_polygon(rng, 3.0 + i, 4.0, 2.5, 5 + i,
+                                      /*with_hole=*/i % 2 == 1));
+  }
+  const PolygonSoA soa = PolygonSoA::build(set);
+  std::uniform_real_distribution<double> coord(-1.0, 26.0);
+  for (PolygonId pid = 0; pid < set.size(); ++pid) {
+    for (int k = 0; k < 500; ++k) {
+      const GeoPoint p{coord(rng), coord(rng)};
+      ASSERT_EQ(point_in_polygon(set[pid], p),
+                point_in_polygon_soa(soa, pid, p.x, p.y))
+          << "pid " << pid << " point (" << p.x << "," << p.y << ")";
+    }
+  }
+}
+
+TEST(Pip, SoaHandlesMultiRingViaSentinels) {
+  PolygonSet set;
+  Polygon p = square_poly(1, 1, 8);
+  p.add_ring({{3, 3}, {6, 3}, {6, 6}, {3, 6}});
+  set.add(std::move(p));
+  const PolygonSoA soa = PolygonSoA::build(set);
+  EXPECT_TRUE(point_in_polygon_soa(soa, 0, 2.0, 2.0));
+  EXPECT_FALSE(point_in_polygon_soa(soa, 0, 4.5, 4.5));  // hole
+  EXPECT_FALSE(point_in_polygon_soa(soa, 0, 0.5, 0.5));
+}
+
+TEST(Pip, HalfOpenRuleCountsSharedVerticesOnce) {
+  // A diamond whose top/bottom vertices sit exactly on the test row:
+  // the half-open vertical rule must not double-count the apex edges.
+  const Polygon diamond({{{5, 0}, {10, 5}, {5, 10}, {0, 5}}});
+  EXPECT_TRUE(point_in_polygon(diamond, {5.0, 5.0}));
+  // Horizontal ray through the apex y: apex itself is not inside-left.
+  EXPECT_FALSE(point_in_polygon(diamond, {-1.0, 5.0}));
+  EXPECT_FALSE(point_in_polygon(diamond, {11.0, 5.0}));
+}
+
+TEST(Pip, GridOfCellCentersAgreesWithWinding) {
+  // Exhaustive grid scan -- the exact access pattern Step 4 performs.
+  std::mt19937 rng(9);
+  const Polygon poly =
+      test::random_star_polygon(rng, 5.0, 5.0, 4.0, 17, true);
+  int inside = 0;
+  for (int r = 0; r < 100; ++r) {
+    for (int c = 0; c < 100; ++c) {
+      const GeoPoint p{c * 0.1 + 0.05, r * 0.1 + 0.05};
+      const bool a = point_in_polygon(poly, p);
+      ASSERT_EQ(a, winding_number(poly, p) != 0);
+      inside += a;
+    }
+  }
+  // Sanity: the polygon covers a nontrivial chunk of the 10x10 window.
+  EXPECT_GT(inside, 100);
+  EXPECT_LT(inside, 9000);
+}
+
+}  // namespace
+}  // namespace zh

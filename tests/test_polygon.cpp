@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "geom/polygon.hpp"
+#include "geom/soa.hpp"
+
+namespace zh {
+namespace {
+
+Ring unit_square() { return {{0, 0}, {1, 0}, {1, 1}, {0, 1}}; }
+
+Ring square(double x0, double y0, double side) {
+  return {{x0, y0}, {x0 + side, y0}, {x0 + side, y0 + side},
+          {x0, y0 + side}};
+}
+
+TEST(Polygon, RingSignedAreaOrientation) {
+  EXPECT_DOUBLE_EQ(ring_signed_area(unit_square()), 1.0);  // CCW positive
+  Ring cw = unit_square();
+  std::reverse(cw.begin(), cw.end());
+  EXPECT_DOUBLE_EQ(ring_signed_area(cw), -1.0);
+}
+
+TEST(Polygon, AreaAndVertexCount) {
+  const Polygon p({square(0, 0, 4), square(1, 1, 1)});
+  EXPECT_EQ(p.ring_count(), 2u);
+  EXPECT_EQ(p.vertex_count(), 8u);
+  // Both rings CCW here, so signed areas add; with a CW hole they would
+  // subtract -- callers orient holes for exact areas.
+  EXPECT_DOUBLE_EQ(p.signed_area(), 17.0);
+}
+
+TEST(Polygon, MbrCoversAllRings) {
+  const Polygon p({square(2, 3, 4), square(-1, 5, 1)});
+  const GeoBox b = p.mbr();
+  EXPECT_DOUBLE_EQ(b.min_x, -1.0);
+  EXPECT_DOUBLE_EQ(b.min_y, 3.0);
+  EXPECT_DOUBLE_EQ(b.max_x, 6.0);
+  EXPECT_DOUBLE_EQ(b.max_y, 7.0);
+}
+
+TEST(Polygon, RejectsDegenerateRing) {
+  EXPECT_THROW(Polygon({Ring{{0, 0}, {1, 1}}}), InvalidArgument);
+  Polygon p;
+  EXPECT_THROW(p.add_ring(Ring{{0, 0}, {1, 1}}), InvalidArgument);
+}
+
+TEST(PolygonSet, IdsNamesAndTotals) {
+  PolygonSet set;
+  const PolygonId a = set.add(Polygon({unit_square()}), "alpha");
+  const PolygonId b = set.add(Polygon({square(5, 5, 2), square(5.5, 5.5, 1)}),
+                              "beta");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.name(a), "alpha");
+  EXPECT_EQ(set.name(b), "beta");
+  EXPECT_EQ(set.vertex_count(), 12u);
+  EXPECT_THROW(set[5], InvalidArgument);
+  EXPECT_THROW(set.name(5), InvalidArgument);
+  const GeoBox e = set.extent();
+  EXPECT_DOUBLE_EQ(e.min_x, 0.0);
+  EXPECT_DOUBLE_EQ(e.max_x, 7.0);
+}
+
+TEST(PolygonSoA, LayoutMatchesFig5Convention) {
+  PolygonSet set;
+  set.add(Polygon({{{1, 1}, {2, 1}, {2, 2}}}));            // 3 vertices
+  set.add(Polygon({square(4, 4, 1), square(4.2, 4.2, 0.5)}));  // 2 rings
+  const PolygonSoA soa = PolygonSoA::build(set);
+
+  EXPECT_EQ(soa.polygon_count(), 2u);
+  // Polygon 0: 3 verts + closing + sentinel = 5 entries.
+  const auto [f0, t0] = soa.vertex_range(0);
+  EXPECT_EQ(f0, 0u);
+  EXPECT_EQ(t0, 5u);
+  // Ring closed: entry 3 repeats entry 0.
+  EXPECT_DOUBLE_EQ(soa.x_v()[3], 1.0);
+  EXPECT_DOUBLE_EQ(soa.y_v()[3], 1.0);
+  // Sentinel at the end of the ring.
+  EXPECT_DOUBLE_EQ(soa.x_v()[4], 0.0);
+  EXPECT_DOUBLE_EQ(soa.y_v()[4], 0.0);
+
+  // Polygon 1: two rings of 4 verts -> 2 * (4 + 2) = 12 entries.
+  const auto [f1, t1] = soa.vertex_range(1);
+  EXPECT_EQ(f1, 5u);
+  EXPECT_EQ(t1, 17u);
+  EXPECT_EQ(soa.flattened_vertex_count(), 17u);
+}
+
+TEST(PolygonSoA, RejectsOriginVertex) {
+  PolygonSet set;
+  set.add(Polygon({{{0, 0}, {1, 0}, {1, 1}}}));
+  EXPECT_THROW(PolygonSoA::build(set), InvalidArgument);
+}
+
+TEST(PolygonSoA, VertexRangeOutOfBoundsThrows) {
+  PolygonSet set;
+  set.add(Polygon({square(1, 1, 1)}));
+  const PolygonSoA soa = PolygonSoA::build(set);
+  EXPECT_THROW(soa.vertex_range(1), InvalidArgument);
+}
+
+TEST(PolygonSoA, EmptySetProducesEmptySoA) {
+  const PolygonSoA soa = PolygonSoA::build(PolygonSet{});
+  EXPECT_EQ(soa.polygon_count(), 0u);
+  EXPECT_EQ(soa.flattened_vertex_count(), 0u);
+}
+
+}  // namespace
+}  // namespace zh

@@ -1,0 +1,198 @@
+// Property tests: every primitive matches its sequential std:: analog on
+// random inputs across a sweep of sizes (DESIGN.md invariant 5).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "primitives/primitives.hpp"
+
+namespace zh {
+namespace {
+
+std::vector<std::uint32_t> random_u32(std::size_t n, std::uint32_t seed,
+                                      std::uint32_t max_value) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::uint32_t> dist(0, max_value);
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+class PrimitiveSweep : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrimitiveSweep,
+                         ::testing::Values(0, 1, 2, 7, 100, 1023, 4096,
+                                           65537, 200000));
+
+TEST_P(PrimitiveSweep, SequenceMatchesIota) {
+  const std::size_t n = GetParam();
+  std::vector<std::uint32_t> out(n);
+  prim::sequence<std::uint32_t>(out, 5);
+  std::vector<std::uint32_t> expect(n);
+  std::iota(expect.begin(), expect.end(), 5u);
+  EXPECT_EQ(out, expect);
+}
+
+TEST_P(PrimitiveSweep, TransformMatchesStd) {
+  const std::size_t n = GetParam();
+  const auto in = random_u32(n, 1, 1000);
+  std::vector<std::uint64_t> out(n);
+  prim::transform<std::uint32_t, std::uint64_t>(
+      in, out, [](std::uint32_t v) { return std::uint64_t{v} * 3 + 1; });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], std::uint64_t{in[i]} * 3 + 1);
+  }
+}
+
+TEST_P(PrimitiveSweep, ReduceMatchesAccumulate) {
+  const std::size_t n = GetParam();
+  const auto in = random_u32(n, 2, 1 << 20);
+  std::vector<std::uint64_t> wide(in.begin(), in.end());
+  const std::uint64_t got =
+      prim::reduce<std::uint64_t>(wide, std::uint64_t{10});
+  const std::uint64_t expect =
+      std::accumulate(wide.begin(), wide.end(), std::uint64_t{10});
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitiveSweep, ExclusiveScanMatchesStd) {
+  const std::size_t n = GetParam();
+  const auto in = random_u32(n, 3, 100);
+  std::vector<std::uint32_t> got(n);
+  prim::exclusive_scan<std::uint32_t>(in, got, 7);
+  std::vector<std::uint32_t> expect(n);
+  std::exclusive_scan(in.begin(), in.end(), expect.begin(), 7u);
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitiveSweep, InclusiveScanMatchesStd) {
+  const std::size_t n = GetParam();
+  const auto in = random_u32(n, 4, 100);
+  std::vector<std::uint32_t> got(n);
+  prim::inclusive_scan<std::uint32_t>(in, got);
+  std::vector<std::uint32_t> expect(n);
+  std::inclusive_scan(in.begin(), in.end(), expect.begin());
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitiveSweep, StableSortPermutationIsStableAndSorted) {
+  const std::size_t n = GetParam();
+  // Few distinct keys -> many ties, stressing stability.
+  const auto keys = random_u32(n, 5, 7);
+  const auto perm =
+      prim::stable_sort_permutation<std::uint32_t>(keys);
+  ASSERT_EQ(perm.size(), n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto a = keys[perm[i - 1]];
+    const auto b = keys[perm[i]];
+    ASSERT_LE(a, b);
+    if (a == b) ASSERT_LT(perm[i - 1], perm[i]) << "stability violated";
+  }
+}
+
+TEST_P(PrimitiveSweep, StableSortByKeyMatchesStdStableSort) {
+  const std::size_t n = GetParam();
+  auto keys = random_u32(n, 6, 50);
+  std::vector<std::uint32_t> vals(n);
+  std::iota(vals.begin(), vals.end(), 0u);
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> expect(n);
+  for (std::size_t i = 0; i < n; ++i) expect[i] = {keys[i], vals[i]};
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](auto& a, auto& b) { return a.first < b.first; });
+
+  prim::stable_sort_by_key(keys, vals);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(keys[i], expect[i].first);
+    ASSERT_EQ(vals[i], expect[i].second);
+  }
+}
+
+TEST_P(PrimitiveSweep, CopyIfMatchesStd) {
+  const std::size_t n = GetParam();
+  const auto in = random_u32(n, 7, 1000);
+  auto pred = [](std::uint32_t v) { return v % 3 == 0; };
+  const auto got = prim::copy_if<std::uint32_t>(in, pred);
+  std::vector<std::uint32_t> expect;
+  std::copy_if(in.begin(), in.end(), std::back_inserter(expect), pred);
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitiveSweep, GatherScatterRoundTrip) {
+  const std::size_t n = GetParam();
+  const auto src = random_u32(n, 8, 1 << 30);
+  // A permutation as indices.
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::shuffle(idx.begin(), idx.end(), std::mt19937(9));
+
+  std::vector<std::uint32_t> gathered(n);
+  prim::gather<std::uint32_t, std::uint32_t>(idx, src, gathered);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(gathered[i], src[idx[i]]);
+
+  std::vector<std::uint32_t> scattered(n);
+  prim::scatter<std::uint32_t, std::uint32_t>(gathered, idx, scattered);
+  EXPECT_EQ(scattered, src);
+}
+
+TEST(Primitives, ReduceByKeyCollapsesRuns) {
+  const std::vector<std::uint32_t> keys = {1, 1, 2, 2, 2, 5, 1};
+  const std::vector<std::uint32_t> vals = {1, 2, 3, 4, 5, 6, 7};
+  const auto [k, v] = prim::reduce_by_key<std::uint32_t, std::uint32_t>(
+      keys, vals);
+  EXPECT_EQ(k, (std::vector<std::uint32_t>{1, 2, 5, 1}));
+  EXPECT_EQ(v, (std::vector<std::uint32_t>{3, 12, 6, 7}));
+}
+
+TEST(Primitives, ReduceByKeyEmpty) {
+  const auto [k, v] = prim::reduce_by_key<std::uint32_t, std::uint32_t>(
+      {}, {});
+  EXPECT_TRUE(k.empty());
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Primitives, StablePartitionByKeyPreservesOrder) {
+  std::vector<std::uint32_t> keys = {3, 1, 4, 1, 5, 9, 2, 6};
+  std::vector<char> vals = {'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'};
+  const std::size_t t = prim::stable_partition_by_key(
+      keys, vals, [](std::uint32_t k) { return k % 2 == 0; });
+  EXPECT_EQ(t, 3u);
+  EXPECT_EQ(keys, (std::vector<std::uint32_t>{4, 2, 6, 3, 1, 1, 5, 9}));
+  EXPECT_EQ(vals, (std::vector<char>{'c', 'g', 'h', 'a', 'b', 'd', 'e',
+                                     'f'}));
+}
+
+TEST(Primitives, RunStartsFindsSegments) {
+  const std::vector<std::uint32_t> keys = {4, 4, 4, 7, 9, 9};
+  EXPECT_EQ(prim::run_starts<std::uint32_t>(keys),
+            (std::vector<std::size_t>{0, 3, 4}));
+  EXPECT_TRUE(prim::run_starts<std::uint32_t>({}).empty());
+}
+
+TEST(Primitives, SortByKeyTwoValueArrays) {
+  std::vector<std::uint32_t> keys = {2, 0, 1};
+  std::vector<std::uint32_t> v1 = {20, 0, 10};
+  std::vector<char> v2 = {'c', 'a', 'b'};
+  prim::stable_sort_by_key(keys, v1, v2);
+  EXPECT_EQ(keys, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(v1, (std::vector<std::uint32_t>{0, 10, 20}));
+  EXPECT_EQ(v2, (std::vector<char>{'a', 'b', 'c'}));
+}
+
+TEST(Primitives, SizeMismatchThrows) {
+  std::vector<std::uint32_t> keys = {1, 2};
+  std::vector<std::uint32_t> vals = {1};
+  EXPECT_THROW(prim::stable_sort_by_key(keys, vals), InvalidArgument);
+  std::vector<std::uint32_t> out(3);
+  EXPECT_THROW(
+      prim::exclusive_scan<std::uint32_t>(std::span<const std::uint32_t>(
+                                              keys),
+                                          out),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace zh

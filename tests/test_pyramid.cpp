@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "data/dem_synth.hpp"
+#include "grid/pyramid.hpp"
+#include "test_util.hpp"
+
+namespace zh {
+namespace {
+
+TEST(Pyramid, LevelDimsHalveAndGeoreferenceScales) {
+  const DemRaster base = test::random_raster(
+      100, 250, 1, 99, GeoTransform(-110.0, 45.0, 0.01, 0.01));
+  const RasterPyramid p = RasterPyramid::build(base, 4);
+  ASSERT_EQ(p.levels(), 4);
+  EXPECT_EQ(p.level(0).rows(), 100);
+  EXPECT_EQ(p.level(1).rows(), 50);
+  EXPECT_EQ(p.level(1).cols(), 125);
+  EXPECT_EQ(p.level(2).cols(), 63);  // ceil(125/2)
+  EXPECT_EQ(p.level(3).rows(), 13);
+  // Cell size doubles per level; origin is fixed.
+  EXPECT_DOUBLE_EQ(p.level(2).transform().cell_w(), 0.04);
+  EXPECT_DOUBLE_EQ(p.level(2).transform().origin_x(), -110.0);
+}
+
+TEST(Pyramid, NearestTakesTopLeft) {
+  DemRaster base(4, 4);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    for (std::int64_t c = 0; c < 4; ++c) {
+      base.at(r, c) = static_cast<CellValue>(r * 4 + c);
+    }
+  }
+  const RasterPyramid p =
+      RasterPyramid::build(base, 2, Resample::kNearest);
+  EXPECT_EQ(p.level(1).at(0, 0), 0);
+  EXPECT_EQ(p.level(1).at(0, 1), 2);
+  EXPECT_EQ(p.level(1).at(1, 0), 8);
+  EXPECT_EQ(p.level(1).at(1, 1), 10);
+}
+
+TEST(Pyramid, ModePicksMajorityWithDeterministicTies) {
+  DemRaster base(2, 4);
+  // Block 1: {5,5,9,5} -> 5. Block 2: {1,2,2,1} -> tie, smallest = 1.
+  base.at(0, 0) = 5;
+  base.at(0, 1) = 5;
+  base.at(1, 0) = 9;
+  base.at(1, 1) = 5;
+  base.at(0, 2) = 1;
+  base.at(0, 3) = 2;
+  base.at(1, 2) = 2;
+  base.at(1, 3) = 1;
+  const RasterPyramid p = RasterPyramid::build(base, 2, Resample::kMode);
+  EXPECT_EQ(p.level(1).at(0, 0), 5);
+  EXPECT_EQ(p.level(1).at(0, 1), 1);
+}
+
+TEST(Pyramid, ModePreservesCategoricalDomain) {
+  // Mode never invents values: every overview cell holds a base value.
+  const DemRaster lc = generate_landcover(
+      128, 128, GeoTransform(0.0, 1.28, 0.01, 0.01), 6);
+  const RasterPyramid p = RasterPyramid::build(lc, 5, Resample::kMode);
+  for (int k = 1; k < p.levels(); ++k) {
+    for (const CellValue v : p.level(k).cells()) {
+      ASSERT_LT(v, 6);
+    }
+  }
+}
+
+TEST(Pyramid, StopsAtOneCell) {
+  const DemRaster base = test::random_raster(9, 5, 2, 9);
+  const RasterPyramid p = RasterPyramid::build(base, 100);
+  EXPECT_LE(p.level(p.levels() - 1).rows(), 1);
+  EXPECT_LE(p.level(p.levels() - 1).cols(), 2);
+  EXPECT_LT(p.levels(), 10);
+}
+
+TEST(Pyramid, LevelForEdgeSelectsCoarsestFit) {
+  const DemRaster base = test::random_raster(400, 400, 3, 9);
+  const RasterPyramid p = RasterPyramid::build(base, 5);
+  EXPECT_EQ(p.level_for_edge(500).rows(), 400);
+  EXPECT_EQ(p.level_for_edge(200).rows(), 200);
+  EXPECT_EQ(p.level_for_edge(60).rows(), 50);
+  EXPECT_EQ(p.level_for_edge(1).rows(), 25);  // coarsest available
+}
+
+TEST(Pyramid, TotalCellsNearFourThirds) {
+  const DemRaster base = test::random_raster(512, 512, 4, 9);
+  const RasterPyramid p = RasterPyramid::build(base, 10);
+  const double ratio = static_cast<double>(p.total_cells()) /
+                       static_cast<double>(base.cell_count());
+  EXPECT_GT(ratio, 1.3);
+  EXPECT_LT(ratio, 1.4);
+}
+
+TEST(Pyramid, RejectsZeroLevels) {
+  const DemRaster base = test::random_raster(4, 4, 1, 9);
+  EXPECT_THROW(RasterPyramid::build(base, 0), InvalidArgument);
+  const RasterPyramid p = RasterPyramid::build(base, 2);
+  EXPECT_THROW(p.level(5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace zh

@@ -1,0 +1,153 @@
+// Region-quadtree properties: lossless round trip, query correctness,
+// collapse behaviour, and equality of quadtree-backed Step 1 with the
+// dense kernel.
+#include <gtest/gtest.h>
+
+#include "core/step1_tile_hist.hpp"
+#include "data/dem_synth.hpp"
+#include "quadtree/qt_step1.hpp"
+#include "quadtree/region_quadtree.hpp"
+#include "test_util.hpp"
+
+namespace zh {
+namespace {
+
+class QuadtreeShapes
+    : public ::testing::TestWithParam<std::pair<std::int64_t,
+                                                std::int64_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, QuadtreeShapes,
+    ::testing::Values(std::pair{1L, 1L}, std::pair{4L, 4L},
+                      std::pair{7L, 13L}, std::pair{64L, 64L},
+                      std::pair{100L, 37L}, std::pair{33L, 129L}));
+
+TEST_P(QuadtreeShapes, RoundTripsRandomRasters) {
+  const auto [rows, cols] = GetParam();
+  const DemRaster raster = test::random_raster(
+      rows, cols, static_cast<std::uint32_t>(rows * 131 + cols), 30);
+  const RegionQuadtree tree = RegionQuadtree::build(raster);
+  const Raster<CellValue> back = tree.to_raster();
+  ASSERT_EQ(back.rows(), rows);
+  ASSERT_EQ(back.cols(), cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      ASSERT_EQ(back.at(r, c), raster.at(r, c)) << r << "," << c;
+      ASSERT_EQ(tree.value_at(r, c), raster.at(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(Quadtree, ConstantRasterCollapsesToOneNode) {
+  DemRaster raster(64, 64);
+  for (CellValue& v : raster.cells()) v = 7;
+  const RegionQuadtree tree = RegionQuadtree::build(raster);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_EQ(tree.value_at(63, 0), 7);
+}
+
+TEST(Quadtree, RaggedConstantRasterStillCollapses) {
+  // 100x37 pads to 128x128; outside-wildcard merging must let the
+  // constant interior collapse to a single node anyway.
+  DemRaster raster(100, 37);
+  for (CellValue& v : raster.cells()) v = 3;
+  const RegionQuadtree tree = RegionQuadtree::build(raster);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(Quadtree, CheckerboardIsWorstCase) {
+  DemRaster raster(16, 16);
+  for (std::int64_t r = 0; r < 16; ++r) {
+    for (std::int64_t c = 0; c < 16; ++c) {
+      raster.at(r, c) = static_cast<CellValue>((r + c) % 2);
+    }
+  }
+  const RegionQuadtree tree = RegionQuadtree::build(raster);
+  EXPECT_EQ(tree.leaf_count(), 256u);  // nothing merges
+  EXPECT_EQ(tree.height(), 4);         // log2(16)
+}
+
+TEST(Quadtree, LandCoverCollapsesHard) {
+  const DemRaster lc = generate_landcover(
+      256, 256, GeoTransform(0.0, 2.56, 0.01, 0.01), 8);
+  const RegionQuadtree tree = RegionQuadtree::build(lc);
+  EXPECT_LT(tree.leaf_count(), 256u * 256u / 4)
+      << "land-cover patches should merge substantially";
+  // Still lossless.
+  const Raster<CellValue> back = tree.to_raster();
+  EXPECT_TRUE(std::equal(back.cells().begin(), back.cells().end(),
+                         lc.cells().begin()));
+}
+
+TEST(Quadtree, UniformValueQueries) {
+  DemRaster raster(32, 32);
+  for (std::int64_t r = 0; r < 32; ++r) {
+    for (std::int64_t c = 0; c < 32; ++c) {
+      raster.at(r, c) = static_cast<CellValue>(c < 16 ? 1 : 2);
+    }
+  }
+  const RegionQuadtree tree = RegionQuadtree::build(raster);
+  EXPECT_EQ(tree.uniform_value({0, 0, 32, 16}), CellValue{1});
+  EXPECT_EQ(tree.uniform_value({5, 20, 10, 10}), CellValue{2});
+  EXPECT_EQ(tree.uniform_value({0, 0, 32, 32}), std::nullopt);
+  EXPECT_EQ(tree.uniform_value({0, 10, 4, 12}), std::nullopt);
+  EXPECT_THROW(tree.uniform_value({0, 0, 33, 1}), InvalidArgument);
+}
+
+TEST(Quadtree, WindowHistogramMatchesDirectCount) {
+  const DemRaster raster = test::random_raster(90, 70, 8, 19);
+  const RegionQuadtree tree = RegionQuadtree::build(raster);
+  for (const CellWindow w :
+       {CellWindow{0, 0, 90, 70}, CellWindow{10, 20, 33, 17},
+        CellWindow{89, 69, 1, 1}, CellWindow{0, 64, 13, 6}}) {
+    std::vector<BinCount> got(20, 0);
+    tree.add_window_histogram(w, got);
+    std::vector<BinCount> expect(20, 0);
+    for (std::int64_t r = w.row0; r < w.row0 + w.rows; ++r) {
+      for (std::int64_t c = w.col0; c < w.col0 + w.cols; ++c) {
+        ++expect[raster.at(r, c)];
+      }
+    }
+    ASSERT_EQ(got, expect) << "window " << w.row0 << "," << w.col0;
+  }
+}
+
+TEST(Quadtree, WindowHistogramClampsHighValues) {
+  DemRaster raster(8, 8);
+  for (CellValue& v : raster.cells()) v = 100;
+  const RegionQuadtree tree = RegionQuadtree::build(raster);
+  std::vector<BinCount> hist(10, 0);
+  tree.add_window_histogram({0, 0, 8, 8}, hist);
+  EXPECT_EQ(hist[9], 64u);
+}
+
+TEST(QuadtreeStep1, MatchesDenseKernelOnRandomAndLandCover) {
+  Device dev;
+  for (const bool landcover : {false, true}) {
+    const DemRaster raster =
+        landcover
+            ? generate_landcover(130, 170,
+                                 GeoTransform(0.0, 1.3, 0.01, 0.01), 12)
+            : test::random_raster(130, 170, 3, 49);
+    const TilingScheme tiling(raster.rows(), raster.cols(), 24);
+    const RegionQuadtree tree = RegionQuadtree::build(raster);
+    const HistogramSet dense = tile_histograms(dev, raster, tiling, 50);
+    const HistogramSet from_tree =
+        tile_histograms_from_quadtree(dev, tree, tiling, 50);
+    EXPECT_EQ(dense, from_tree) << "landcover=" << landcover;
+  }
+}
+
+TEST(QuadtreeStep1, MismatchedTilingThrows) {
+  Device dev;
+  const DemRaster raster = test::random_raster(16, 16, 1, 3);
+  const RegionQuadtree tree = RegionQuadtree::build(raster);
+  const TilingScheme wrong(32, 16, 8);
+  EXPECT_THROW(tile_histograms_from_quadtree(dev, tree, wrong, 4),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace zh

@@ -1,0 +1,163 @@
+// Step 2 properties (DESIGN.md invariant 3 + Fig. 4 bookkeeping): tile
+// classification is sound against per-cell PIP, and the grouped dispatch
+// arrays are a lossless reorganization of the labeled pair list.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/step2_pairing.hpp"
+#include "geom/pip.hpp"
+#include "test_util.hpp"
+
+namespace zh {
+namespace {
+
+struct Workload {
+  GeoTransform transform{0.0, 10.0, 0.1, 0.1};  // 100x100 cells over 10x10
+  TilingScheme tiling{100, 100, 10};
+  PolygonSet polygons;
+};
+
+Workload make_workload(std::uint32_t seed, int count, bool holes) {
+  Workload w;
+  w.polygons = test::random_polygon_set(seed, GeoBox{0.5, 0.5, 9.5, 9.5},
+                                        count, holes);
+  return w;
+}
+
+TEST(Step2, PairListClassificationIsSound) {
+  const Workload w = make_workload(3, 12, true);
+  const TilePolygonPairs pairs =
+      pair_tiles_with_polygons(w.polygons, w.tiling, w.transform);
+
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const Polygon& poly = w.polygons[pairs.polygon_ids[i]];
+    const CellWindow win = w.tiling.tile_window(pairs.tile_ids[i]);
+    bool all_in = true;
+    bool any_in = false;
+    for (std::int64_t r = win.row0; r < win.row0 + win.rows; ++r) {
+      for (std::int64_t c = win.col0; c < win.col0 + win.cols; ++c) {
+        const bool in =
+            point_in_polygon(poly, w.transform.cell_center(r, c));
+        all_in &= in;
+        any_in |= in;
+      }
+    }
+    if (pairs.relations[i] == TileRelation::kInside) {
+      EXPECT_TRUE(all_in) << "inside tile has an outside cell center";
+    }
+    // kIntersect is conservative: no assertion on any_in, but the label
+    // must never be kOutside (those are dropped from the list).
+    EXPECT_NE(pairs.relations[i], TileRelation::kOutside);
+  }
+}
+
+TEST(Step2, EveryInsideCellCenterIsCoveredByAPair) {
+  // Completeness: any cell center inside a polygon must lie in some tile
+  // paired with that polygon (otherwise the pipeline would drop it).
+  const Workload w = make_workload(11, 8, false);
+  const TilePolygonPairs pairs =
+      pair_tiles_with_polygons(w.polygons, w.tiling, w.transform);
+
+  std::set<std::pair<PolygonId, TileId>> paired;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    paired.emplace(pairs.polygon_ids[i], pairs.tile_ids[i]);
+  }
+  for (PolygonId pid = 0; pid < w.polygons.size(); ++pid) {
+    for (std::int64_t r = 0; r < 100; r += 3) {
+      for (std::int64_t c = 0; c < 100; c += 3) {
+        if (!point_in_polygon(w.polygons[pid],
+                              w.transform.cell_center(r, c))) {
+          continue;
+        }
+        const TileId t =
+            w.tiling.tile_id(r / w.tiling.tile_size(),
+                             c / w.tiling.tile_size());
+        ASSERT_TRUE(paired.count({pid, t}))
+            << "cell (" << r << "," << c << ") of polygon " << pid
+            << " not covered by any pair";
+      }
+    }
+  }
+}
+
+TEST(Step2, GroupsAreALosslessReorganization) {
+  const Workload w = make_workload(29, 15, true);
+  TilePolygonPairs pairs =
+      pair_tiles_with_polygons(w.polygons, w.tiling, w.transform);
+
+  // Reference multiset per (relation, polygon).
+  std::map<std::pair<int, PolygonId>, std::multiset<TileId>> expect;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    expect[{static_cast<int>(pairs.relations[i]), pairs.polygon_ids[i]}]
+        .insert(pairs.tile_ids[i]);
+  }
+
+  const PairingResult res = build_pairing_groups(std::move(pairs));
+
+  auto check = [&](const PolygonTileGroups& g, TileRelation rel) {
+    ASSERT_EQ(g.pid_v.size(), g.num_v.size());
+    ASSERT_EQ(g.pid_v.size(), g.pos_v.size());
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < g.pid_v.size(); ++i) {
+      // pid_v strictly increasing: one group per polygon.
+      if (i > 0) ASSERT_LT(g.pid_v[i - 1], g.pid_v[i]);
+      ASSERT_EQ(g.pos_v[i], covered);
+      std::multiset<TileId> tiles(
+          g.tid_v.begin() + g.pos_v[i],
+          g.tid_v.begin() + g.pos_v[i] + g.num_v[i]);
+      ASSERT_EQ(tiles,
+                (expect[{static_cast<int>(rel), g.pid_v[i]}]))
+          << "relation " << static_cast<int>(rel) << " polygon "
+          << g.pid_v[i];
+      covered += g.num_v[i];
+    }
+    ASSERT_EQ(covered, g.tid_v.size());
+  };
+  check(res.inside, TileRelation::kInside);
+  check(res.intersect, TileRelation::kIntersect);
+
+  // Nothing lost: group pair counts sum to the labeled pair count.
+  std::size_t expect_total = 0;
+  for (const auto& [k, v] : expect) expect_total += v.size();
+  EXPECT_EQ(res.inside.pair_count() + res.intersect.pair_count(),
+            expect_total);
+}
+
+TEST(Step2, PolygonOutsideRasterYieldsNoPairs) {
+  Workload w;
+  w.polygons.add(Polygon({{{100, 100}, {101, 100}, {101, 101}}}));
+  const TilePolygonPairs pairs =
+      pair_tiles_with_polygons(w.polygons, w.tiling, w.transform);
+  EXPECT_EQ(pairs.size(), 0u);
+  const PairingResult res = build_pairing_groups(
+      pair_tiles_with_polygons(w.polygons, w.tiling, w.transform));
+  EXPECT_EQ(res.inside.group_count(), 0u);
+  EXPECT_EQ(res.intersect.group_count(), 0u);
+}
+
+TEST(Step2, LargePolygonProducesInsideTiles) {
+  Workload w;
+  // Covers almost the whole raster: interior tiles must classify inside.
+  w.polygons.add(Polygon({{{0.05, 0.05}, {9.95, 0.05}, {9.95, 9.95},
+                           {0.05, 9.95}}}));
+  const PairingResult res =
+      pair_and_group(w.polygons, w.tiling, w.transform);
+  ASSERT_EQ(res.inside.group_count(), 1u);
+  EXPECT_GT(res.inside.pair_count(), 50u);   // 8x8 interior tiles at least
+  ASSERT_EQ(res.intersect.group_count(), 1u);
+  EXPECT_GT(res.intersect.pair_count(), 0u);
+  EXPECT_EQ(res.candidate_pairs, 100u);  // MBB covers all 10x10 tiles
+}
+
+TEST(Step2, EmptyPolygonSet) {
+  Workload w;
+  const PairingResult res =
+      pair_and_group(w.polygons, w.tiling, w.transform);
+  EXPECT_EQ(res.candidate_pairs, 0u);
+  EXPECT_EQ(res.inside.group_count(), 0u);
+}
+
+}  // namespace
+}  // namespace zh

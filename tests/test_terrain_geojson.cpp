@@ -1,0 +1,162 @@
+// Terrain derivatives and GeoJSON I/O.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "data/dem_synth.hpp"
+#include "grid/terrain.hpp"
+#include "io/geojson.hpp"
+#include "test_util.hpp"
+
+namespace zh {
+namespace {
+
+TEST(Terrain, FlatDemHasZeroSlopeAndFlatAspect) {
+  DemRaster dem(10, 10);
+  for (CellValue& v : dem.cells()) v = 500;
+  const auto slope = slope_degrees(dem, {.cell_distance = 30.0});
+  const auto aspect = aspect_sectors(dem, {.cell_distance = 30.0});
+  for (const CellValue s : slope.cells()) EXPECT_EQ(s, 0);
+  for (const CellValue a : aspect.cells()) EXPECT_EQ(a, 8);
+}
+
+TEST(Terrain, UniformRampSlopeMatchesAnalytic) {
+  // Elevation increases 30 per cell eastwards with 30 m cells: gradient
+  // 1.0 -> slope = atan(1) = 45 degrees away from the borders.
+  DemRaster dem(10, 20);
+  for (std::int64_t r = 0; r < 10; ++r) {
+    for (std::int64_t c = 0; c < 20; ++c) {
+      dem.at(r, c) = static_cast<CellValue>(30 * c);
+    }
+  }
+  const auto slope = slope_degrees(dem, {.cell_distance = 30.0});
+  for (std::int64_t r = 1; r < 9; ++r) {
+    for (std::int64_t c = 1; c < 19; ++c) {
+      EXPECT_EQ(slope.at(r, c), 45) << r << "," << c;
+    }
+  }
+}
+
+TEST(Terrain, AspectPointsDownhill) {
+  // Elevation increases northwards -> downslope faces south (sector 4).
+  DemRaster dem(20, 10);
+  for (std::int64_t r = 0; r < 20; ++r) {
+    for (std::int64_t c = 0; c < 10; ++c) {
+      dem.at(r, c) = static_cast<CellValue>(30 * (20 - r));
+    }
+  }
+  const auto aspect = aspect_sectors(dem, {.cell_distance = 30.0});
+  EXPECT_EQ(aspect.at(10, 5), 4);
+
+  // Elevation increases eastwards -> downslope faces west (sector 6).
+  DemRaster dem2(10, 20);
+  for (std::int64_t r = 0; r < 10; ++r) {
+    for (std::int64_t c = 0; c < 20; ++c) {
+      dem2.at(r, c) = static_cast<CellValue>(30 * c);
+    }
+  }
+  EXPECT_EQ(aspect_sectors(dem2, {.cell_distance = 30.0}).at(5, 10), 6);
+}
+
+TEST(Terrain, SlopeWithinPhysicalRange) {
+  const DemRaster dem = generate_dem(
+      100, 100, GeoTransform(0.0, 1.0, 0.01, 0.01));
+  const auto slope = slope_degrees(dem, {.cell_distance = 30.0});
+  for (const CellValue s : slope.cells()) ASSERT_LE(s, 90);
+  EXPECT_THROW(slope_degrees(dem, {.cell_distance = 0.0}),
+               InvalidArgument);
+}
+
+TEST(GeoJson, ParsesPolygonFeatureCollection) {
+  const PolygonSet set = parse_geojson(R"({
+    "type": "FeatureCollection",
+    "features": [
+      {"type": "Feature",
+       "properties": {"name": "alpha", "pop": 12},
+       "geometry": {"type": "Polygon",
+         "coordinates": [[[0,0],[4,0],[4,4],[0,4],[0,0]]]}},
+      {"type": "Feature",
+       "properties": {},
+       "geometry": {"type": "MultiPolygon",
+         "coordinates": [[[[10,10],[12,10],[12,12],[10,10]]],
+                          [[[20,20],[22,20],[22,22],[20,20]]]]}}
+    ]})");
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.name(0), "alpha");
+  EXPECT_EQ(set.name(1), "feature1");
+  EXPECT_DOUBLE_EQ(set[0].area(), 16.0);
+  EXPECT_EQ(set[1].ring_count(), 2u);  // flattened multipolygon
+}
+
+TEST(GeoJson, ParsesBareGeometryAndSingleFeature) {
+  const PolygonSet bare = parse_geojson(
+      R"({"type":"Polygon","coordinates":[[[0,0],[1,0],[1,1],[0,0]]]})");
+  ASSERT_EQ(bare.size(), 1u);
+  const PolygonSet feat = parse_geojson(
+      R"({"type":"Feature","properties":{"name":"x"},
+          "geometry":{"type":"Polygon",
+                      "coordinates":[[[0,0],[1,0],[1,1],[0,0]]]}})");
+  EXPECT_EQ(feat.name(0), "x");
+}
+
+TEST(GeoJson, RoundTripPreservesGeometryAndNames) {
+  PolygonSet set;
+  Polygon p({{{0.5, 0.25}, {10, 0.5}, {10.75, 10}, {0.5, 10}}});
+  p.add_ring({{2, 2}, {4, 2.5}, {4, 4}, {2, 4}});
+  set.add(std::move(p), "county \"A\"");
+  set.add(Polygon({{{-5, -5}, {-4, -5}, {-4, -4}}}), "B");
+
+  const PolygonSet back = parse_geojson(to_geojson(set));
+  ASSERT_EQ(back.size(), set.size());
+  for (PolygonId id = 0; id < set.size(); ++id) {
+    EXPECT_EQ(back.name(id), set.name(id));
+    ASSERT_EQ(back[id].ring_count(), set[id].ring_count());
+    EXPECT_DOUBLE_EQ(back[id].area(), set[id].area());
+  }
+}
+
+TEST(GeoJson, FileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("zh_geojson_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "zones.geojson").string();
+  const PolygonSet set = test::random_polygon_set(
+      4, GeoBox{0.5, 0.5, 9.5, 9.5}, 5, true);
+  write_geojson(path, set);
+  const PolygonSet back = read_geojson(path);
+  ASSERT_EQ(back.size(), set.size());
+  for (PolygonId id = 0; id < set.size(); ++id) {
+    EXPECT_DOUBLE_EQ(back[id].area(), set[id].area());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GeoJson, MalformedInputsThrow) {
+  EXPECT_THROW(parse_geojson(""), IoError);
+  EXPECT_THROW(parse_geojson("[1,2,3]"), IoError);
+  EXPECT_THROW(parse_geojson(R"({"type":"Point","coordinates":[1,2]})"),
+               IoError);
+  EXPECT_THROW(parse_geojson(R"({"type":"FeatureCollection"})"), IoError);
+  EXPECT_THROW(
+      parse_geojson(
+          R"({"type":"Polygon","coordinates":[[[0,0],[1,1]]]})"),
+      IoError);
+  EXPECT_THROW(parse_geojson(R"({"type":"Polygon","coordinates":[[[0,0],
+               [1,0],[1,1],[0,0]]]} trailing)"),
+               IoError);
+  EXPECT_THROW(read_geojson("/nonexistent/x.geojson"), IoError);
+}
+
+TEST(GeoJson, StringEscapes) {
+  const PolygonSet set = parse_geojson(R"({
+    "type": "Feature",
+    "properties": {"name": "a\"b\\c\ndA"},
+    "geometry": {"type":"Polygon",
+                 "coordinates":[[[0,0],[1,0],[1,1],[0,0]]]}})");
+  EXPECT_EQ(set.name(0), "a\"b\\c\nd" "A");
+}
+
+}  // namespace
+}  // namespace zh

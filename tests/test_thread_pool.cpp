@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "device/thread_pool.hpp"
+
+namespace zh {
+namespace {
+
+TEST(ThreadPool, SizeIsPositive) {
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+  ThreadPool local(3);
+  EXPECT_EQ(local.size(), 3u);
+}
+
+TEST(ThreadPool, ParallelForCoversExactlyOnce) {
+  const std::size_t n = 100'000;
+  std::vector<std::atomic<int>> hits(n);
+  ThreadPool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  bool called = false;
+  ThreadPool::global().parallel_for(
+      0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSingleElement) {
+  std::atomic<int> sum{0};
+  ThreadPool::global().parallel_for(1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum += static_cast<int>(i) + 7;
+  });
+  EXPECT_EQ(sum.load(), 7);
+}
+
+TEST(ThreadPool, ParallelForRespectsGrain) {
+  // With grain == n, the body must be invoked exactly once, inline.
+  std::atomic<int> calls{0};
+  ThreadPool::global().parallel_for(
+      1000,
+      [&](std::size_t b, std::size_t e) {
+        ++calls;
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, 1000u);
+      },
+      1000);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSumsCorrectly) {
+  const std::size_t n = 1 << 18;
+  std::vector<std::uint64_t> data(n);
+  std::iota(data.begin(), data.end(), 0u);
+  std::atomic<std::uint64_t> total{0};
+  ThreadPool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
+    std::uint64_t local = 0;
+    for (std::size_t i = b; i < e; ++i) local += data[i];
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // A pool task calling parallel_for again must make progress even when
+  // every worker is busy (the calling thread participates in draining).
+  std::atomic<std::uint64_t> total{0};
+  ThreadPool::global().parallel_for(8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      ThreadPool::global().parallel_for(
+          64, [&](std::size_t ib, std::size_t ie) {
+            total.fetch_add(ie - ib, std::memory_order_relaxed);
+          });
+    }
+  });
+  EXPECT_EQ(total.load(), 8u * 64u);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  EXPECT_THROW(
+      ThreadPool::global().parallel_for(100,
+                                        [&](std::size_t b, std::size_t) {
+                                          if (b == 0) {
+                                            throw InvalidArgument("boom");
+                                          }
+                                        }),
+      InvalidArgument);
+}
+
+TEST(ThreadPool, PostRuns) {
+  std::atomic<bool> ran{false};
+  std::atomic<int> gate{0};
+  ThreadPool::global().post([&] {
+    ran = true;
+    gate = 1;
+  });
+  while (gate.load() == 0) std::this_thread::yield();
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace zh

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "geom/validate.hpp"
+#include "test_util.hpp"
+
+namespace zh {
+namespace {
+
+Ring square(double x0, double y0, double side) {
+  return {{x0, y0}, {x0 + side, y0}, {x0 + side, y0 + side},
+          {x0, y0 + side}};
+}
+
+TEST(SegmentsIntersect, ProperCrossing) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}, false));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 1}, {2, 2}, {3, 3}, false));
+}
+
+TEST(SegmentsIntersect, TouchingEndpointCounts) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {1, 1}, {1, 1}, {2, 0}, false));
+  // ... unless shared endpoints are explicitly ignored (adjacent edges).
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 1}, {1, 1}, {2, 0}, true));
+}
+
+TEST(SegmentsIntersect, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {3, 0}, false));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {2, 0}, {3, 0}, false));
+  // Collinear continuation through a shared endpoint is NOT a crossing.
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {1, 0}, {2, 0}, true));
+  // But a collinear fold-back over the same edge is.
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {2, 0}, {1, 0}, true));
+}
+
+TEST(Validate, CleanPolygonPasses) {
+  Polygon p({square(0, 0, 10), square(3, 3, 2)});
+  const ValidationReport r = validate_polygon(p);
+  EXPECT_TRUE(r.ok()) << (r.notes.empty() ? std::string{} : r.notes[0]);
+}
+
+TEST(Validate, RandomStarPolygonsAreValid) {
+  std::mt19937 rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const Polygon p =
+        test::random_star_polygon(rng, 5, 5, 3, 8 + i, i % 2 == 0);
+    const ValidationReport r = validate_polygon(p);
+    EXPECT_TRUE(r.ok()) << "trial " << i;
+  }
+}
+
+TEST(Validate, DetectsBowtie) {
+  // Classic self-intersecting "bowtie".
+  const Polygon bowtie({{{0, 0}, {2, 2}, {2, 0}, {0, 2}}});
+  const ValidationReport r = validate_polygon(bowtie);
+  EXPECT_TRUE(r.has_self_intersection);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.notes.empty());
+}
+
+TEST(Validate, DetectsDuplicateVertices) {
+  const Polygon p({{{0, 0}, {1, 0}, {1, 0}, {1, 1}, {0, 1}}});
+  const ValidationReport r = validate_polygon(p);
+  EXPECT_TRUE(r.has_duplicate_vertices);
+}
+
+TEST(Validate, DetectsDegenerateRing) {
+  const Polygon p({{{0, 0}, {1, 1}, {0, 0}, {1, 1}}});
+  const ValidationReport r = validate_polygon(p);
+  EXPECT_TRUE(r.has_degenerate_ring);
+}
+
+TEST(Validate, DetectsRingCrossing) {
+  // "Hole" sticking out of the outer ring.
+  Polygon p({square(0, 0, 4)});
+  p.add_ring(square(3, 1, 3));
+  const ValidationReport r = validate_polygon(p);
+  EXPECT_TRUE(r.has_ring_crossing);
+}
+
+TEST(Validate, NestedHoleDoesNotCross) {
+  Polygon p({square(0, 0, 10)});
+  p.add_ring(square(2, 2, 3));
+  EXPECT_FALSE(validate_polygon(p).has_ring_crossing);
+}
+
+TEST(DedupeRing, RemovesConsecutiveAndWrapDuplicates) {
+  const Ring in = {{0, 0}, {0, 0}, {1, 0}, {1, 1}, {1, 1}, {0, 1}, {0, 0}};
+  const Ring out = dedupe_ring(in);
+  EXPECT_EQ(out, (Ring{{0, 0}, {1, 0}, {1, 1}, {0, 1}}));
+  EXPECT_EQ(dedupe_ring({}), Ring{});
+}
+
+TEST(NormalizeWinding, OgcConvention) {
+  Ring outer_cw = square(0, 0, 10);
+  std::reverse(outer_cw.begin(), outer_cw.end());
+  Ring hole_ccw = square(2, 2, 2);
+  Polygon p({outer_cw, hole_ccw});
+
+  const Polygon n = normalize_winding(p);
+  EXPECT_GT(ring_signed_area(n.rings()[0]), 0.0);  // outer CCW
+  EXPECT_LT(ring_signed_area(n.rings()[1]), 0.0);  // hole CW
+  // Normalizing twice is idempotent.
+  const Polygon nn = normalize_winding(n);
+  EXPECT_DOUBLE_EQ(ring_signed_area(nn.rings()[0]),
+                   ring_signed_area(n.rings()[0]));
+}
+
+TEST(PolygonAreaOgc, HoleSubtracts) {
+  Polygon p({square(0, 0, 10), square(2, 2, 2)});
+  EXPECT_DOUBLE_EQ(polygon_area_ogc(p), 100.0 - 4.0);
+  EXPECT_DOUBLE_EQ(polygon_area_ogc(Polygon{}), 0.0);
+  // Orientation of the input is irrelevant.
+  Polygon q = normalize_winding(p);
+  EXPECT_DOUBLE_EQ(polygon_area_ogc(q), 96.0);
+}
+
+}  // namespace
+}  // namespace zh

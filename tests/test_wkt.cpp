@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "geom/wkt.hpp"
+
+namespace zh {
+namespace {
+
+TEST(Wkt, ParsesSimplePolygon) {
+  const Polygon p = parse_wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  ASSERT_EQ(p.ring_count(), 1u);
+  EXPECT_EQ(p.rings()[0].size(), 4u);  // closing vertex stripped
+  EXPECT_DOUBLE_EQ(p.rings()[0][1].x, 4.0);
+  EXPECT_DOUBLE_EQ(p.area(), 16.0);
+}
+
+TEST(Wkt, ParsesPolygonWithHole) {
+  const Polygon p = parse_wkt(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))");
+  ASSERT_EQ(p.ring_count(), 2u);
+  EXPECT_EQ(p.rings()[1].size(), 4u);
+}
+
+TEST(Wkt, ParsesMultiPolygonAsFlattenedRings) {
+  const Polygon p = parse_wkt(
+      "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))");
+  ASSERT_EQ(p.ring_count(), 2u);
+}
+
+TEST(Wkt, CaseInsensitiveKeywordAndNegativeCoords) {
+  const Polygon p =
+      parse_wkt("polygon((-125.5 49.25, -124 49.25, -124 50, -125.5 49.25))");
+  ASSERT_EQ(p.ring_count(), 1u);
+  EXPECT_DOUBLE_EQ(p.rings()[0][0].x, -125.5);
+}
+
+TEST(Wkt, ScientificNotation) {
+  const Polygon p =
+      parse_wkt("POLYGON ((1e-3 0.5, 2.5e2 0.5, 1 1, 1e-3 0.5))");
+  EXPECT_DOUBLE_EQ(p.rings()[0][0].x, 0.001);
+  EXPECT_DOUBLE_EQ(p.rings()[0][1].x, 250.0);
+}
+
+TEST(Wkt, UnclosedRingIsAccepted) {
+  // Some producers omit the closing vertex; both forms must parse alike.
+  const Polygon a = parse_wkt("POLYGON ((0 0, 4 0, 4 4))");
+  const Polygon b = parse_wkt("POLYGON ((0 0, 4 0, 4 4, 0 0))");
+  EXPECT_EQ(a.rings()[0].size(), b.rings()[0].size());
+}
+
+TEST(Wkt, RoundTripPreservesGeometry) {
+  Polygon p = parse_wkt(
+      "POLYGON ((0.125 0.25, 10 0.5, 10.75 10, 0.5 10, 0.125 0.25), "
+      "(2 2, 4 2.5, 4 4, 2 4, 2 2))");
+  const Polygon q = parse_wkt(to_wkt(p));
+  ASSERT_EQ(q.ring_count(), p.ring_count());
+  for (std::size_t r = 0; r < p.ring_count(); ++r) {
+    ASSERT_EQ(q.rings()[r].size(), p.rings()[r].size());
+    for (std::size_t i = 0; i < p.rings()[r].size(); ++i) {
+      EXPECT_DOUBLE_EQ(q.rings()[r][i].x, p.rings()[r][i].x);
+      EXPECT_DOUBLE_EQ(q.rings()[r][i].y, p.rings()[r][i].y);
+    }
+  }
+}
+
+TEST(Wkt, MalformedInputsThrow) {
+  EXPECT_THROW(parse_wkt("LINESTRING (0 0, 1 1)"), IoError);
+  EXPECT_THROW(parse_wkt("POLYGON ((0 0, 1 1))"), IoError);  // < 3 verts
+  EXPECT_THROW(parse_wkt("POLYGON ((0 0, 1 1, 2 2"), IoError);
+  EXPECT_THROW(parse_wkt("POLYGON ((0 0, 1 1, x 2))"), IoError);
+  EXPECT_THROW(parse_wkt("POLYGON ((0 0, 1 0, 1 1)) trailing"), IoError);
+  EXPECT_THROW(parse_wkt(""), IoError);
+}
+
+}  // namespace
+}  // namespace zh

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/zonal_stats_op.hpp"
+#include "test_util.hpp"
+
+namespace zh {
+namespace {
+
+void expect_stats_eq(const ZonalStats& a, const ZonalStats& b,
+                     const char* what) {
+  EXPECT_EQ(a.count, b.count) << what;
+  EXPECT_EQ(a.min, b.min) << what;
+  EXPECT_EQ(a.max, b.max) << what;
+  EXPECT_NEAR(a.mean, b.mean, 1e-9 * (std::abs(b.mean) + 1.0)) << what;
+  EXPECT_NEAR(a.stddev, b.stddev, 1e-6 * (b.stddev + 1.0)) << what;
+}
+
+TEST(StatsAccumulator, AddAndMerge) {
+  StatsAccumulator a;
+  a.add(2);
+  a.add(2);
+  a.add(2);
+  StatsAccumulator b;
+  b.add(5);
+  a.merge(b);
+  const ZonalStats s = a.finalize();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.min, 2u);
+  EXPECT_EQ(s.max, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.75);
+  EXPECT_NEAR(s.stddev * s.stddev, 1.6875, 1e-12);
+}
+
+TEST(StatsAccumulator, EmptyFinalize) {
+  const ZonalStats s = StatsAccumulator{}.finalize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+class ZonalStatsOpSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, ZonalStatsOpSweep,
+                         ::testing::Values(5, 12, 32, 100));
+
+TEST_P(ZonalStatsOpSweep, MatchesReferenceAndHistogramDerivation) {
+  const std::int64_t tile = GetParam();
+  Device dev;
+  const DemRaster raster = test::random_raster(
+      90, 110, 7, 499, GeoTransform(0.0, 9.0, 0.1, 0.1));
+  const PolygonSet polys = test::random_polygon_set(
+      11, GeoBox{0.5, 0.5, 10.5, 8.5}, 9, /*holes=*/true);
+
+  const std::vector<ZonalStats> direct =
+      zonal_statistics(dev, raster, polys, tile);
+  const std::vector<ZonalStats> reference =
+      zonal_statistics_reference(raster, polys);
+
+  // Histogram route: exact counts, same moments up to fp accumulation.
+  const ZonalPipeline pipe(dev, {.tile_size = tile, .bins = 500});
+  const ZonalResult hist = pipe.run(raster, polys);
+
+  ASSERT_EQ(direct.size(), polys.size());
+  for (PolygonId id = 0; id < polys.size(); ++id) {
+    expect_stats_eq(direct[id], reference[id], "direct vs reference");
+    const ZonalStats from_hist =
+        stats_from_histogram(hist.per_polygon.of(id));
+    expect_stats_eq(direct[id], from_hist, "direct vs histogram");
+  }
+}
+
+TEST(ZonalStatsOp, NodataSkipped) {
+  Device dev;
+  DemRaster raster(6, 6, GeoTransform(0.0, 6.0, 1.0, 1.0));
+  for (CellValue& v : raster.cells()) v = 7;
+  raster.at(1, 1) = 999;
+  raster.set_nodata(CellValue{999});
+  PolygonSet polys;
+  polys.add(Polygon({{{0.1, 0.1}, {5.9, 0.1}, {5.9, 5.9}, {0.1, 5.9}}}));
+  const auto stats = zonal_statistics(dev, raster, polys, 3);
+  EXPECT_EQ(stats[0].count, 35u);
+  EXPECT_EQ(stats[0].min, 7u);
+  EXPECT_EQ(stats[0].max, 7u);
+}
+
+TEST(ZonalStatsOp, ZoneOutsideRasterIsEmpty) {
+  Device dev;
+  const DemRaster raster = test::random_raster(20, 20, 1, 9);
+  PolygonSet polys;
+  polys.add(Polygon({{{100, 100}, {101, 100}, {101, 101}}}));
+  const auto stats = zonal_statistics(dev, raster, polys, 10);
+  EXPECT_EQ(stats[0].count, 0u);
+}
+
+TEST(ZonalStatsOp, RejectsBadTileSize) {
+  Device dev;
+  const DemRaster raster = test::random_raster(10, 10, 1, 9);
+  EXPECT_THROW(zonal_statistics(dev, raster, PolygonSet{}, 0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace zh

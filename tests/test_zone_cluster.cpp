@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/zone_cluster.hpp"
+
+namespace zh {
+namespace {
+
+/// Histograms in three well-separated families: low bins, mid bins,
+/// high bins. Sizes vary wildly so normalization matters.
+HistogramSet separable_zones(std::uint32_t seed) {
+  HistogramSet h(12, 90);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<BinCount> size(50, 5000);
+  for (std::size_t z = 0; z < 12; ++z) {
+    const std::size_t family = z % 3;  // 0:low 1:mid 2:high
+    const BinIndex base = static_cast<BinIndex>(family * 30);
+    std::uniform_int_distribution<BinIndex> bin(base, base + 14);
+    const BinCount n = size(rng);
+    for (BinCount i = 0; i < n; ++i) h.of(z)[bin(rng)] += 1;
+  }
+  return h;
+}
+
+TEST(HistogramDistance, MetricBasics) {
+  HistogramSet h(3, 10);
+  h.of(0)[2] = 4;
+  h.of(1)[2] = 400;  // same shape, different mass
+  h.of(2)[7] = 4;    // disjoint shape
+  EXPECT_DOUBLE_EQ(histogram_distance(h.of(0), h.of(0)), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_distance(h.of(0), h.of(1)), 0.0);  // normalized
+  EXPECT_DOUBLE_EQ(histogram_distance(h.of(0), h.of(2)), 2.0);  // disjoint
+  EXPECT_DOUBLE_EQ(histogram_distance(h.of(0), h.of(2)),
+                   histogram_distance(h.of(2), h.of(0)));
+  // Unnormalized: raw L1.
+  EXPECT_DOUBLE_EQ(histogram_distance(h.of(0), h.of(1), false), 396.0);
+}
+
+TEST(HistogramDistance, EmptyHistograms) {
+  HistogramSet h(2, 5);
+  h.of(1)[0] = 3;
+  EXPECT_DOUBLE_EQ(histogram_distance(h.of(0), h.of(0)), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_distance(h.of(0), h.of(1)), 1.0);
+}
+
+TEST(ZoneCluster, RecoversSeparableFamilies) {
+  const HistogramSet h = separable_zones(5);
+  const ZoneClustering c = cluster_zones(h, {.k = 3});
+  ASSERT_EQ(c.assignment.size(), 12u);
+  ASSERT_EQ(c.medoids.size(), 3u);
+  // All zones of one family share a cluster; different families differ.
+  for (std::size_t a = 0; a < 12; ++a) {
+    for (std::size_t b = 0; b < 12; ++b) {
+      if (a % 3 == b % 3) {
+        EXPECT_EQ(c.assignment[a], c.assignment[b])
+            << "zones " << a << " and " << b;
+      } else {
+        EXPECT_NE(c.assignment[a], c.assignment[b])
+            << "zones " << a << " and " << b;
+      }
+    }
+  }
+  EXPECT_GT(c.iterations, 0);
+}
+
+TEST(ZoneCluster, Deterministic) {
+  const HistogramSet h = separable_zones(9);
+  const ZoneClustering a = cluster_zones(h, {.k = 4});
+  const ZoneClustering b = cluster_zones(h, {.k = 4});
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.medoids, b.medoids);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+}
+
+TEST(ZoneCluster, KEqualsNMakesEveryZoneItsOwnMedoid) {
+  const HistogramSet h = separable_zones(3);
+  const ZoneClustering c = cluster_zones(h, {.k = 12});
+  EXPECT_DOUBLE_EQ(c.total_cost, 0.0);
+}
+
+TEST(ZoneCluster, SingleClusterCoversAll) {
+  const HistogramSet h = separable_zones(4);
+  const ZoneClustering c = cluster_zones(h, {.k = 1});
+  for (const std::uint32_t a : c.assignment) EXPECT_EQ(a, 0u);
+}
+
+TEST(ZoneCluster, InvalidKThrows) {
+  const HistogramSet h = separable_zones(1);
+  EXPECT_THROW(cluster_zones(h, {.k = 0}), InvalidArgument);
+  EXPECT_THROW(cluster_zones(h, {.k = 13}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace zh

@@ -1,0 +1,313 @@
+// zhist: command-line zonal histogramming.
+//
+// Subcommands:
+//   zhist hist <raster> <zones.tsv> [-o hist.csv] [--bins N] [--tile N]
+//       [--stats] [--partitions RxC]
+//     Zonal histograms of a raster (.zgrid, .asc or .bq) over a WKT-TSV
+//     zone layer; optional classic statistics table; CSV output.
+//   zhist encode <raster.zgrid|.asc> <out.bq> [--tile N]
+//     BQ-Tree-compress a raster.
+//   zhist decode <in.bq> <out.zgrid>
+//     Decompress a .bq container.
+//   zhist render <raster> <out.ppm> [--max-edge N]
+//     Hypsometric PPM rendering.
+//   zhist synth <out.zgrid> [--rows N] [--cols N] [--seed S]
+//     Generate a synthetic fBm DEM.
+//   zhist points <points.csv> <zones.tsv> [--tile N]
+//     Zonal point summation (x,y[,weight] CSV).
+//   zhist simplify <zones.tsv> <out.tsv> --eps E
+//     Douglas-Peucker generalization of a zone layer.
+//   zhist validate <zones.tsv>
+//     Geometry validity report.
+//   zhist catalog <dir> [-o hist.csv] [--bins N] [--tile N] [--eager]
+//     Out-of-core run over a catalog directory.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "zh.hpp"
+
+namespace {
+
+using namespace zh;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  zhist hist <raster> <zones.tsv> [-o hist.csv] "
+               "[--bins N] [--tile N] [--stats] [--partitions RxC]\n"
+               "  zhist encode <raster> <out.bq> [--tile N]\n"
+               "  zhist decode <in.bq> <out.zgrid>\n"
+               "  zhist render <raster> <out.ppm> [--max-edge N]\n"
+               "  zhist synth <out.zgrid> [--rows N] [--cols N] "
+               "[--seed S]\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::string out;
+  BinIndex bins = 5000;
+  std::int64_t tile = 360;
+  bool stats = false;
+  int part_rows = 1;
+  int part_cols = 1;
+  std::int64_t rows = 1200;
+  std::int64_t cols = 1200;
+  std::uint64_t seed = 42;
+  std::int64_t max_edge = 1024;
+  double eps = 0.0;
+  bool eager = false;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "-o") {
+      args.out = next();
+    } else if (a == "--bins") {
+      args.bins = static_cast<BinIndex>(std::stoul(next()));
+    } else if (a == "--tile") {
+      args.tile = std::stoll(next());
+    } else if (a == "--stats") {
+      args.stats = true;
+    } else if (a == "--partitions") {
+      const std::string v = next();
+      const auto x = v.find('x');
+      if (x == std::string::npos) usage();
+      args.part_rows = std::stoi(v.substr(0, x));
+      args.part_cols = std::stoi(v.substr(x + 1));
+    } else if (a == "--rows") {
+      args.rows = std::stoll(next());
+    } else if (a == "--cols") {
+      args.cols = std::stoll(next());
+    } else if (a == "--seed") {
+      args.seed = std::stoull(next());
+    } else if (a == "--max-edge") {
+      args.max_edge = std::stoll(next());
+    } else if (a == "--eps") {
+      args.eps = std::stod(next());
+    } else if (a == "--eager") {
+      args.eager = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      usage();
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+DemRaster load_raster(const std::string& path) {
+  if (ends_with(path, ".asc")) return read_ascii_grid(path);
+  if (ends_with(path, ".bq")) return read_bq(path).decode_all();
+  return read_zgrid(path);
+}
+
+int cmd_hist(const Args& args) {
+  if (args.positional.size() != 2) usage();
+  const DemRaster raster = load_raster(args.positional[0]);
+  const PolygonSet zones = read_polygon_tsv(args.positional[1]);
+  std::fprintf(stderr, "raster %lldx%lld, %zu zones, %u bins, tile %lld\n",
+               static_cast<long long>(raster.rows()),
+               static_cast<long long>(raster.cols()), zones.size(),
+               args.bins, static_cast<long long>(args.tile));
+
+  Device device;
+  const ZonalPipeline pipe(device,
+                           {.tile_size = args.tile, .bins = args.bins});
+  Timer timer;
+  const ZonalResult result =
+      (args.part_rows > 1 || args.part_cols > 1)
+          ? pipe.run_partitioned(raster, zones, args.part_rows,
+                                 args.part_cols)
+          : pipe.run(raster, zones);
+  std::fprintf(stderr, "pipeline: %.2f s (steps %.2f s)\n", timer.seconds(),
+               result.times.step_total());
+
+  if (!args.out.empty()) {
+    write_histogram_csv(args.out, result.per_polygon);
+    std::fprintf(stderr, "wrote %s\n", args.out.c_str());
+  }
+  if (args.stats || args.out.empty()) {
+    std::printf("%-16s %12s %7s %7s %10s %10s\n", "zone", "cells", "min",
+                "max", "mean", "stddev");
+    for (PolygonId z = 0; z < zones.size(); ++z) {
+      const ZonalStats s = stats_from_histogram(result.per_polygon.of(z));
+      std::printf("%-16s %12llu %7u %7u %10.2f %10.2f\n",
+                  zones.name(z).c_str(),
+                  static_cast<unsigned long long>(s.count), s.min, s.max,
+                  s.mean, s.stddev);
+    }
+  }
+  return 0;
+}
+
+int cmd_encode(const Args& args) {
+  if (args.positional.size() != 2) usage();
+  const DemRaster raster = load_raster(args.positional[0]);
+  const BqCompressedRaster compressed =
+      BqCompressedRaster::encode(raster, args.tile);
+  write_bq(args.positional[1], compressed);
+  std::fprintf(stderr, "%s: %.1f%% of raw (%zu -> %zu bytes)\n",
+               args.positional[1].c_str(),
+               100.0 * compressed.compression_ratio(),
+               compressed.raw_bytes(), compressed.compressed_bytes());
+  return 0;
+}
+
+int cmd_decode(const Args& args) {
+  if (args.positional.size() != 2) usage();
+  write_zgrid(args.positional[1], read_bq(args.positional[0]).decode_all());
+  return 0;
+}
+
+int cmd_render(const Args& args) {
+  if (args.positional.size() != 2) usage();
+  write_ppm(args.positional[1],
+            render_elevation(load_raster(args.positional[0]),
+                             args.max_edge));
+  return 0;
+}
+
+int cmd_synth(const Args& args) {
+  if (args.positional.size() != 1) usage();
+  const GeoTransform t(-110.0, 45.0, 0.01, 0.01);
+  write_zgrid(args.positional[0],
+              generate_dem(args.rows, args.cols, t, {.seed = args.seed}));
+  std::fprintf(stderr, "wrote %lldx%lld synthetic DEM to %s\n",
+               static_cast<long long>(args.rows),
+               static_cast<long long>(args.cols),
+               args.positional[0].c_str());
+  return 0;
+}
+
+int cmd_points(const Args& args) {
+  if (args.positional.size() != 2) usage();
+  const PointSet points = read_points_csv(args.positional[0]);
+  const PolygonSet zones = read_polygon_tsv(args.positional[1]);
+  const GeoBox ext = zones.extent();
+  // Tile grid sized so the extent splits into ~args.tile tiles per axis.
+  const std::int64_t cells = 64 * args.tile;
+  const double cell =
+      std::max(ext.width(), ext.height()) / static_cast<double>(cells);
+  const GeoTransform t(ext.min_x, ext.max_y, cell, cell);
+  const TilingScheme tiling(cells, cells, 64);
+
+  Device device;
+  PointZonalCounters counters;
+  const auto rows =
+      zonal_point_summation(device, points, zones, tiling, t, &counters);
+  std::printf("%-16s %12s %16s\n", "zone", "count", "weight sum");
+  for (PolygonId z = 0; z < zones.size(); ++z) {
+    std::printf("%-16s %12llu %16.3f\n", zones.name(z).c_str(),
+                static_cast<unsigned long long>(rows[z].count),
+                rows[z].weight_sum);
+  }
+  std::fprintf(stderr,
+               "%zu points; %llu bucket-aggregated, %llu PIP-tested\n",
+               points.size(),
+               static_cast<unsigned long long>(
+                   counters.points_in_inside_tiles),
+               static_cast<unsigned long long>(counters.pip_point_tests));
+  return 0;
+}
+
+int cmd_simplify(const Args& args) {
+  if (args.positional.size() != 2 || args.eps <= 0.0) usage();
+  const PolygonSet zones = read_polygon_tsv(args.positional[0]);
+  const PolygonSet simp = simplify_set(zones, args.eps);
+  write_polygon_tsv(args.positional[1], simp);
+  std::fprintf(stderr, "%zu -> %zu vertices (eps %.6g)\n",
+               zones.vertex_count(), simp.vertex_count(), args.eps);
+  return 0;
+}
+
+int cmd_validate(const Args& args) {
+  if (args.positional.size() != 1) usage();
+  const PolygonSet zones = read_polygon_tsv(args.positional[0]);
+  int bad = 0;
+  for (PolygonId z = 0; z < zones.size(); ++z) {
+    const ValidationReport r = validate_polygon(zones[z]);
+    if (r.ok()) continue;
+    ++bad;
+    std::printf("%s:", zones.name(z).c_str());
+    if (r.has_duplicate_vertices) std::printf(" duplicate-vertices");
+    if (r.has_self_intersection) std::printf(" self-intersection");
+    if (r.has_ring_crossing) std::printf(" ring-crossing");
+    if (r.has_degenerate_ring) std::printf(" degenerate-ring");
+    std::printf("\n");
+    for (const std::string& note : r.notes) {
+      std::printf("  %s\n", note.c_str());
+    }
+  }
+  std::fprintf(stderr, "%zu zones checked, %d with defects\n",
+               zones.size(), bad);
+  return bad == 0 ? 0 : 1;
+}
+
+int cmd_catalog(const Args& args) {
+  if (args.positional.size() != 1) usage();
+  const Catalog catalog = open_catalog(args.positional[0]);
+  Device device;
+  Timer timer;
+  const CatalogRunResult r = run_catalog(
+      device, catalog, {.tile_size = args.tile, .bins = args.bins},
+      !args.eager);
+  std::fprintf(stderr,
+               "%zu rasters, %.1f MB read, %.2f s (%s pipeline)\n",
+               r.rasters_processed,
+               static_cast<double>(r.bytes_read) / 1e6, timer.seconds(),
+               args.eager ? "eager" : "filter-first");
+  if (!args.out.empty()) {
+    write_histogram_csv(args.out, r.per_polygon);
+    std::fprintf(stderr, "wrote %s\n", args.out.c_str());
+  } else {
+    const PolygonSet zones = read_polygon_tsv(catalog.zones_path());
+    std::printf("%-16s %12s %7s %7s %10s\n", "zone", "cells", "min",
+                "max", "mean");
+    for (PolygonId z = 0; z < zones.size(); ++z) {
+      const ZonalStats s = stats_from_histogram(r.per_polygon.of(z));
+      std::printf("%-16s %12llu %7u %7u %10.2f\n",
+                  zones.name(z).c_str(),
+                  static_cast<unsigned long long>(s.count), s.min, s.max,
+                  s.mean);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Args args = parse(argc, argv);
+  try {
+    if (cmd == "hist") return cmd_hist(args);
+    if (cmd == "encode") return cmd_encode(args);
+    if (cmd == "decode") return cmd_decode(args);
+    if (cmd == "render") return cmd_render(args);
+    if (cmd == "synth") return cmd_synth(args);
+    if (cmd == "points") return cmd_points(args);
+    if (cmd == "simplify") return cmd_simplify(args);
+    if (cmd == "validate") return cmd_validate(args);
+    if (cmd == "catalog") return cmd_catalog(args);
+  } catch (const zh::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}

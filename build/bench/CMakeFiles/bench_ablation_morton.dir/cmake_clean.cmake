@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_morton.dir/bench_ablation_morton.cpp.o"
+  "CMakeFiles/bench_ablation_morton.dir/bench_ablation_morton.cpp.o.d"
+  "bench_ablation_morton"
+  "bench_ablation_morton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_morton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_vs_pipeline.dir/bench_baseline_vs_pipeline.cpp.o"
+  "CMakeFiles/bench_baseline_vs_pipeline.dir/bench_baseline_vs_pipeline.cpp.o.d"
+  "bench_baseline_vs_pipeline"
+  "bench_baseline_vs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_vs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

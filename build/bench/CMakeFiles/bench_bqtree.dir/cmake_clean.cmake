@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bqtree.dir/bench_bqtree.cpp.o"
+  "CMakeFiles/bench_bqtree.dir/bench_bqtree.cpp.o.d"
+  "bench_bqtree"
+  "bench_bqtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bqtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

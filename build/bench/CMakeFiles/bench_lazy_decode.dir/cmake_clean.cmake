@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lazy_decode.dir/bench_lazy_decode.cpp.o"
+  "CMakeFiles/bench_lazy_decode.dir/bench_lazy_decode.cpp.o.d"
+  "bench_lazy_decode"
+  "bench_lazy_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lazy_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

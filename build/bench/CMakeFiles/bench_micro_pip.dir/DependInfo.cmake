@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_pip.cpp" "bench/CMakeFiles/bench_micro_pip.dir/bench_micro_pip.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_pip.dir/bench_micro_pip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/zh_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/bqtree/CMakeFiles/zh_bqtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/zh_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/zh_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/zh_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

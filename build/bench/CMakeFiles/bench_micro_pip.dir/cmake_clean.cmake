@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_pip.dir/bench_micro_pip.cpp.o"
+  "CMakeFiles/bench_micro_pip.dir/bench_micro_pip.cpp.o.d"
+  "bench_micro_pip"
+  "bench_micro_pip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiband.dir/bench_multiband.cpp.o"
+  "CMakeFiles/bench_multiband.dir/bench_multiband.cpp.o.d"
+  "bench_multiband"
+  "bench_multiband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_point_zonal.dir/bench_point_zonal.cpp.o"
+  "CMakeFiles/bench_point_zonal.dir/bench_point_zonal.cpp.o.d"
+  "bench_point_zonal"
+  "bench_point_zonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_point_zonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quadtree.dir/bench_quadtree.cpp.o"
+  "CMakeFiles/bench_quadtree.dir/bench_quadtree.cpp.o.d"
+  "bench_quadtree"
+  "bench_quadtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quadtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

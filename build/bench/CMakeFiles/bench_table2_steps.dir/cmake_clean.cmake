@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_steps.dir/bench_table2_steps.cpp.o"
+  "CMakeFiles/bench_table2_steps.dir/bench_table2_steps.cpp.o.d"
+  "bench_table2_steps"
+  "bench_table2_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conus_counties.dir/conus_counties.cpp.o"
+  "CMakeFiles/conus_counties.dir/conus_counties.cpp.o.d"
+  "conus_counties"
+  "conus_counties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conus_counties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

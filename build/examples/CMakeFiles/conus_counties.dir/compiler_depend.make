@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for conus_counties.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for conus_counties.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiband_series.dir/multiband_series.cpp.o"
+  "CMakeFiles/multiband_series.dir/multiband_series.cpp.o.d"
+  "multiband_series"
+  "multiband_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiband_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_maps.dir/render_maps.cpp.o"
+  "CMakeFiles/render_maps.dir/render_maps.cpp.o.d"
+  "render_maps"
+  "render_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/species_occurrences.dir/species_occurrences.cpp.o"
+  "CMakeFiles/species_occurrences.dir/species_occurrences.cpp.o.d"
+  "species_occurrences"
+  "species_occurrences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/species_occurrences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrain_zonal.dir/terrain_zonal.cpp.o"
+  "CMakeFiles/terrain_zonal.dir/terrain_zonal.cpp.o.d"
+  "terrain_zonal"
+  "terrain_zonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrain_zonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zonal_stats_report.dir/zonal_stats_report.cpp.o"
+  "CMakeFiles/zonal_stats_report.dir/zonal_stats_report.cpp.o.d"
+  "zonal_stats_report"
+  "zonal_stats_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zonal_stats_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bqtree/bqtree.cpp" "src/bqtree/CMakeFiles/zh_bqtree.dir/bqtree.cpp.o" "gcc" "src/bqtree/CMakeFiles/zh_bqtree.dir/bqtree.cpp.o.d"
+  "/root/repo/src/bqtree/compressed_raster.cpp" "src/bqtree/CMakeFiles/zh_bqtree.dir/compressed_raster.cpp.o" "gcc" "src/bqtree/CMakeFiles/zh_bqtree.dir/compressed_raster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/zh_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/zh_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

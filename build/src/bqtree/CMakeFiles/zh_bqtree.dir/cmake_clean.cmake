@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_bqtree.dir/bqtree.cpp.o"
+  "CMakeFiles/zh_bqtree.dir/bqtree.cpp.o.d"
+  "CMakeFiles/zh_bqtree.dir/compressed_raster.cpp.o"
+  "CMakeFiles/zh_bqtree.dir/compressed_raster.cpp.o.d"
+  "libzh_bqtree.a"
+  "libzh_bqtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_bqtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for zh_bqtree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_cluster.dir/comm.cpp.o"
+  "CMakeFiles/zh_cluster.dir/comm.cpp.o.d"
+  "CMakeFiles/zh_cluster.dir/partition.cpp.o"
+  "CMakeFiles/zh_cluster.dir/partition.cpp.o.d"
+  "libzh_cluster.a"
+  "libzh_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

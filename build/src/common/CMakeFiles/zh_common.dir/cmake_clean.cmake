@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_common.dir/memory.cpp.o"
+  "CMakeFiles/zh_common.dir/memory.cpp.o.d"
+  "CMakeFiles/zh_common.dir/timer.cpp.o"
+  "CMakeFiles/zh_common.dir/timer.cpp.o.d"
+  "libzh_common.a"
+  "libzh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cpp" "src/core/CMakeFiles/zh_core.dir/baseline.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/baseline.cpp.o.d"
+  "/root/repo/src/core/cluster_driver.cpp" "src/core/CMakeFiles/zh_core.dir/cluster_driver.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/cluster_driver.cpp.o.d"
+  "/root/repo/src/core/histogram.cpp" "src/core/CMakeFiles/zh_core.dir/histogram.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/histogram.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/core/CMakeFiles/zh_core.dir/hybrid.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/hybrid.cpp.o.d"
+  "/root/repo/src/core/lazy_pipeline.cpp" "src/core/CMakeFiles/zh_core.dir/lazy_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/lazy_pipeline.cpp.o.d"
+  "/root/repo/src/core/load_balance.cpp" "src/core/CMakeFiles/zh_core.dir/load_balance.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/load_balance.cpp.o.d"
+  "/root/repo/src/core/multiband.cpp" "src/core/CMakeFiles/zh_core.dir/multiband.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/multiband.cpp.o.d"
+  "/root/repo/src/core/perf_model.cpp" "src/core/CMakeFiles/zh_core.dir/perf_model.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/perf_model.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/zh_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/point_zonal.cpp" "src/core/CMakeFiles/zh_core.dir/point_zonal.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/point_zonal.cpp.o.d"
+  "/root/repo/src/core/rasterize.cpp" "src/core/CMakeFiles/zh_core.dir/rasterize.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/rasterize.cpp.o.d"
+  "/root/repo/src/core/step1_tile_hist.cpp" "src/core/CMakeFiles/zh_core.dir/step1_tile_hist.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/step1_tile_hist.cpp.o.d"
+  "/root/repo/src/core/step2_pairing.cpp" "src/core/CMakeFiles/zh_core.dir/step2_pairing.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/step2_pairing.cpp.o.d"
+  "/root/repo/src/core/step3_aggregate.cpp" "src/core/CMakeFiles/zh_core.dir/step3_aggregate.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/step3_aggregate.cpp.o.d"
+  "/root/repo/src/core/step4_refine.cpp" "src/core/CMakeFiles/zh_core.dir/step4_refine.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/step4_refine.cpp.o.d"
+  "/root/repo/src/core/zonal_stats_op.cpp" "src/core/CMakeFiles/zh_core.dir/zonal_stats_op.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/zonal_stats_op.cpp.o.d"
+  "/root/repo/src/core/zone_cluster.cpp" "src/core/CMakeFiles/zh_core.dir/zone_cluster.cpp.o" "gcc" "src/core/CMakeFiles/zh_core.dir/zone_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/zh_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/zh_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/zh_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/bqtree/CMakeFiles/zh_bqtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/zh_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/conus.cpp" "src/data/CMakeFiles/zh_data.dir/conus.cpp.o" "gcc" "src/data/CMakeFiles/zh_data.dir/conus.cpp.o.d"
+  "/root/repo/src/data/county_synth.cpp" "src/data/CMakeFiles/zh_data.dir/county_synth.cpp.o" "gcc" "src/data/CMakeFiles/zh_data.dir/county_synth.cpp.o.d"
+  "/root/repo/src/data/dem_synth.cpp" "src/data/CMakeFiles/zh_data.dir/dem_synth.cpp.o" "gcc" "src/data/CMakeFiles/zh_data.dir/dem_synth.cpp.o.d"
+  "/root/repo/src/data/points_synth.cpp" "src/data/CMakeFiles/zh_data.dir/points_synth.cpp.o" "gcc" "src/data/CMakeFiles/zh_data.dir/points_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/zh_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/zh_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/zh_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_data.dir/conus.cpp.o"
+  "CMakeFiles/zh_data.dir/conus.cpp.o.d"
+  "CMakeFiles/zh_data.dir/county_synth.cpp.o"
+  "CMakeFiles/zh_data.dir/county_synth.cpp.o.d"
+  "CMakeFiles/zh_data.dir/dem_synth.cpp.o"
+  "CMakeFiles/zh_data.dir/dem_synth.cpp.o.d"
+  "CMakeFiles/zh_data.dir/points_synth.cpp.o"
+  "CMakeFiles/zh_data.dir/points_synth.cpp.o.d"
+  "libzh_data.a"
+  "libzh_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_device.dir/device.cpp.o"
+  "CMakeFiles/zh_device.dir/device.cpp.o.d"
+  "CMakeFiles/zh_device.dir/thread_pool.cpp.o"
+  "CMakeFiles/zh_device.dir/thread_pool.cpp.o.d"
+  "libzh_device.a"
+  "libzh_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

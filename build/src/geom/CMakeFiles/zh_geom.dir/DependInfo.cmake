@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/classify.cpp" "src/geom/CMakeFiles/zh_geom.dir/classify.cpp.o" "gcc" "src/geom/CMakeFiles/zh_geom.dir/classify.cpp.o.d"
+  "/root/repo/src/geom/pip.cpp" "src/geom/CMakeFiles/zh_geom.dir/pip.cpp.o" "gcc" "src/geom/CMakeFiles/zh_geom.dir/pip.cpp.o.d"
+  "/root/repo/src/geom/polygon.cpp" "src/geom/CMakeFiles/zh_geom.dir/polygon.cpp.o" "gcc" "src/geom/CMakeFiles/zh_geom.dir/polygon.cpp.o.d"
+  "/root/repo/src/geom/simplify.cpp" "src/geom/CMakeFiles/zh_geom.dir/simplify.cpp.o" "gcc" "src/geom/CMakeFiles/zh_geom.dir/simplify.cpp.o.d"
+  "/root/repo/src/geom/soa.cpp" "src/geom/CMakeFiles/zh_geom.dir/soa.cpp.o" "gcc" "src/geom/CMakeFiles/zh_geom.dir/soa.cpp.o.d"
+  "/root/repo/src/geom/validate.cpp" "src/geom/CMakeFiles/zh_geom.dir/validate.cpp.o" "gcc" "src/geom/CMakeFiles/zh_geom.dir/validate.cpp.o.d"
+  "/root/repo/src/geom/wkt.cpp" "src/geom/CMakeFiles/zh_geom.dir/wkt.cpp.o" "gcc" "src/geom/CMakeFiles/zh_geom.dir/wkt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/zh_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/zh_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

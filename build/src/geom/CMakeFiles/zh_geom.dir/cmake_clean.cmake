@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_geom.dir/classify.cpp.o"
+  "CMakeFiles/zh_geom.dir/classify.cpp.o.d"
+  "CMakeFiles/zh_geom.dir/pip.cpp.o"
+  "CMakeFiles/zh_geom.dir/pip.cpp.o.d"
+  "CMakeFiles/zh_geom.dir/polygon.cpp.o"
+  "CMakeFiles/zh_geom.dir/polygon.cpp.o.d"
+  "CMakeFiles/zh_geom.dir/simplify.cpp.o"
+  "CMakeFiles/zh_geom.dir/simplify.cpp.o.d"
+  "CMakeFiles/zh_geom.dir/soa.cpp.o"
+  "CMakeFiles/zh_geom.dir/soa.cpp.o.d"
+  "CMakeFiles/zh_geom.dir/validate.cpp.o"
+  "CMakeFiles/zh_geom.dir/validate.cpp.o.d"
+  "CMakeFiles/zh_geom.dir/wkt.cpp.o"
+  "CMakeFiles/zh_geom.dir/wkt.cpp.o.d"
+  "libzh_geom.a"
+  "libzh_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_grid.dir/pyramid.cpp.o"
+  "CMakeFiles/zh_grid.dir/pyramid.cpp.o.d"
+  "CMakeFiles/zh_grid.dir/terrain.cpp.o"
+  "CMakeFiles/zh_grid.dir/terrain.cpp.o.d"
+  "CMakeFiles/zh_grid.dir/tiling.cpp.o"
+  "CMakeFiles/zh_grid.dir/tiling.cpp.o.d"
+  "libzh_grid.a"
+  "libzh_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

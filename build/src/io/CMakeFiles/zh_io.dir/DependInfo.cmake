@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/ascii_grid.cpp" "src/io/CMakeFiles/zh_io.dir/ascii_grid.cpp.o" "gcc" "src/io/CMakeFiles/zh_io.dir/ascii_grid.cpp.o.d"
+  "/root/repo/src/io/bq_file.cpp" "src/io/CMakeFiles/zh_io.dir/bq_file.cpp.o" "gcc" "src/io/CMakeFiles/zh_io.dir/bq_file.cpp.o.d"
+  "/root/repo/src/io/catalog.cpp" "src/io/CMakeFiles/zh_io.dir/catalog.cpp.o" "gcc" "src/io/CMakeFiles/zh_io.dir/catalog.cpp.o.d"
+  "/root/repo/src/io/geojson.cpp" "src/io/CMakeFiles/zh_io.dir/geojson.cpp.o" "gcc" "src/io/CMakeFiles/zh_io.dir/geojson.cpp.o.d"
+  "/root/repo/src/io/histogram_io.cpp" "src/io/CMakeFiles/zh_io.dir/histogram_io.cpp.o" "gcc" "src/io/CMakeFiles/zh_io.dir/histogram_io.cpp.o.d"
+  "/root/repo/src/io/render.cpp" "src/io/CMakeFiles/zh_io.dir/render.cpp.o" "gcc" "src/io/CMakeFiles/zh_io.dir/render.cpp.o.d"
+  "/root/repo/src/io/vector_io.cpp" "src/io/CMakeFiles/zh_io.dir/vector_io.cpp.o" "gcc" "src/io/CMakeFiles/zh_io.dir/vector_io.cpp.o.d"
+  "/root/repo/src/io/zgrid.cpp" "src/io/CMakeFiles/zh_io.dir/zgrid.cpp.o" "gcc" "src/io/CMakeFiles/zh_io.dir/zgrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/zh_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/zh_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/bqtree/CMakeFiles/zh_bqtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/zh_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/zh_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

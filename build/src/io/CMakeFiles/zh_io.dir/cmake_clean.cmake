@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_io.dir/ascii_grid.cpp.o"
+  "CMakeFiles/zh_io.dir/ascii_grid.cpp.o.d"
+  "CMakeFiles/zh_io.dir/bq_file.cpp.o"
+  "CMakeFiles/zh_io.dir/bq_file.cpp.o.d"
+  "CMakeFiles/zh_io.dir/catalog.cpp.o"
+  "CMakeFiles/zh_io.dir/catalog.cpp.o.d"
+  "CMakeFiles/zh_io.dir/geojson.cpp.o"
+  "CMakeFiles/zh_io.dir/geojson.cpp.o.d"
+  "CMakeFiles/zh_io.dir/histogram_io.cpp.o"
+  "CMakeFiles/zh_io.dir/histogram_io.cpp.o.d"
+  "CMakeFiles/zh_io.dir/render.cpp.o"
+  "CMakeFiles/zh_io.dir/render.cpp.o.d"
+  "CMakeFiles/zh_io.dir/vector_io.cpp.o"
+  "CMakeFiles/zh_io.dir/vector_io.cpp.o.d"
+  "CMakeFiles/zh_io.dir/zgrid.cpp.o"
+  "CMakeFiles/zh_io.dir/zgrid.cpp.o.d"
+  "libzh_io.a"
+  "libzh_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zh_quadtree.dir/qt_step1.cpp.o"
+  "CMakeFiles/zh_quadtree.dir/qt_step1.cpp.o.d"
+  "CMakeFiles/zh_quadtree.dir/region_quadtree.cpp.o"
+  "CMakeFiles/zh_quadtree.dir/region_quadtree.cpp.o.d"
+  "libzh_quadtree.a"
+  "libzh_quadtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zh_quadtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/zh_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_bqtree.cpp" "tests/CMakeFiles/zh_tests.dir/test_bqtree.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_bqtree.cpp.o.d"
+  "/root/repo/tests/test_catalog.cpp" "tests/CMakeFiles/zh_tests.dir/test_catalog.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_catalog.cpp.o.d"
+  "/root/repo/tests/test_classify.cpp" "tests/CMakeFiles/zh_tests.dir/test_classify.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_classify.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/zh_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/zh_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/zh_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_device.cpp" "tests/CMakeFiles/zh_tests.dir/test_device.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_device.cpp.o.d"
+  "/root/repo/tests/test_geom_edge_cases.cpp" "tests/CMakeFiles/zh_tests.dir/test_geom_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_geom_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/zh_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/zh_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_hybrid_simplify.cpp" "tests/CMakeFiles/zh_tests.dir/test_hybrid_simplify.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_hybrid_simplify.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/zh_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_lazy_pipeline.cpp" "tests/CMakeFiles/zh_tests.dir/test_lazy_pipeline.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_lazy_pipeline.cpp.o.d"
+  "/root/repo/tests/test_load_balance.cpp" "tests/CMakeFiles/zh_tests.dir/test_load_balance.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_load_balance.cpp.o.d"
+  "/root/repo/tests/test_morton.cpp" "tests/CMakeFiles/zh_tests.dir/test_morton.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_morton.cpp.o.d"
+  "/root/repo/tests/test_multiband.cpp" "tests/CMakeFiles/zh_tests.dir/test_multiband.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_multiband.cpp.o.d"
+  "/root/repo/tests/test_partitioned_fuzz.cpp" "tests/CMakeFiles/zh_tests.dir/test_partitioned_fuzz.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_partitioned_fuzz.cpp.o.d"
+  "/root/repo/tests/test_perf_model.cpp" "tests/CMakeFiles/zh_tests.dir/test_perf_model.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_perf_model.cpp.o.d"
+  "/root/repo/tests/test_pip.cpp" "tests/CMakeFiles/zh_tests.dir/test_pip.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_pip.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/zh_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_point_zonal.cpp" "tests/CMakeFiles/zh_tests.dir/test_point_zonal.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_point_zonal.cpp.o.d"
+  "/root/repo/tests/test_polygon.cpp" "tests/CMakeFiles/zh_tests.dir/test_polygon.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_polygon.cpp.o.d"
+  "/root/repo/tests/test_primitives.cpp" "tests/CMakeFiles/zh_tests.dir/test_primitives.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_primitives.cpp.o.d"
+  "/root/repo/tests/test_pyramid.cpp" "tests/CMakeFiles/zh_tests.dir/test_pyramid.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_pyramid.cpp.o.d"
+  "/root/repo/tests/test_quadtree.cpp" "tests/CMakeFiles/zh_tests.dir/test_quadtree.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_quadtree.cpp.o.d"
+  "/root/repo/tests/test_render_io.cpp" "tests/CMakeFiles/zh_tests.dir/test_render_io.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_render_io.cpp.o.d"
+  "/root/repo/tests/test_step1.cpp" "tests/CMakeFiles/zh_tests.dir/test_step1.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_step1.cpp.o.d"
+  "/root/repo/tests/test_step2.cpp" "tests/CMakeFiles/zh_tests.dir/test_step2.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_step2.cpp.o.d"
+  "/root/repo/tests/test_step3_4.cpp" "tests/CMakeFiles/zh_tests.dir/test_step3_4.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_step3_4.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/zh_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_terrain_geojson.cpp" "tests/CMakeFiles/zh_tests.dir/test_terrain_geojson.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_terrain_geojson.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/zh_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_validate.cpp" "tests/CMakeFiles/zh_tests.dir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_validate.cpp.o.d"
+  "/root/repo/tests/test_wkt.cpp" "tests/CMakeFiles/zh_tests.dir/test_wkt.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_wkt.cpp.o.d"
+  "/root/repo/tests/test_zonal_stats_op.cpp" "tests/CMakeFiles/zh_tests.dir/test_zonal_stats_op.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_zonal_stats_op.cpp.o.d"
+  "/root/repo/tests/test_zone_cluster.cpp" "tests/CMakeFiles/zh_tests.dir/test_zone_cluster.cpp.o" "gcc" "tests/CMakeFiles/zh_tests.dir/test_zone_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quadtree/CMakeFiles/zh_quadtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/zh_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/zh_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/zh_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/bqtree/CMakeFiles/zh_bqtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/zh_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/zh_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/zh_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zhist.dir/zhist.cpp.o"
+  "CMakeFiles/zhist.dir/zhist.cpp.o.d"
+  "zhist"
+  "zhist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zhist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

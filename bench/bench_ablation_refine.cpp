@@ -39,7 +39,7 @@ int main() {
 
   bench::print_header("(a) Step-4 block granularity");
   HistogramSet reference;
-  for (const auto [granularity, label] :
+  for (const auto& [granularity, label] :
        {std::pair{RefineGranularity::kPolygonGroup,
                   "block per polygon (Fig. 5)"},
         std::pair{RefineGranularity::kPolygonTile,

@@ -1,10 +1,16 @@
 // Packed bit streams for the BQ-Tree codec.
+//
+// Cursor discipline (Sec. IV.A): a decoder must consume exactly the bits
+// the encoder produced for a quadrant -- reading past the encoded stream
+// is always a codec bug, and the read path carries contract checks for it
+// in Debug/sanitizer builds (see common/contracts.hpp).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace zh {
@@ -14,8 +20,11 @@ class BitWriter {
  public:
   void put(bool bit) {
     if (used_ == 0) bytes_.push_back(0);
-    if (bit) bytes_.back() |= static_cast<std::uint8_t>(0x80u >> used_);
-    used_ = (used_ + 1) & 7;
+    if (bit) {
+      bytes_.back() =
+          static_cast<std::uint8_t>(bytes_.back() | (0x80u >> used_));
+    }
+    used_ = (used_ + 1u) & 7u;
   }
 
   /// Append the low `count` bits of `v`, most-significant first.
@@ -27,7 +36,10 @@ class BitWriter {
   }
 
   [[nodiscard]] std::size_t bit_count() const {
-    return bytes_.size() * 8 - ((8 - used_) & 7);
+    // All index math in 64-bit: byte count widens before the *8 so streams
+    // larger than 2^29 bytes cannot wrap a 32-bit intermediate.
+    return static_cast<std::size_t>(bytes_.size()) * 8u -
+           ((8u - used_) & 7u);
   }
 
   [[nodiscard]] std::vector<std::uint8_t> take() {
@@ -46,18 +58,30 @@ class BitReader {
   explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
   bool get() {
-    ZH_REQUIRE(pos_ < bytes_.size() * 8, "bit stream exhausted");
-    const bool bit =
-        (bytes_[pos_ >> 3] & (0x80u >> (pos_ & 7))) != 0;
+    ZH_REQUIRE(pos_ < bit_size(), "bit stream exhausted");
+    const std::size_t byte = pos_ >> 3u;
+    const unsigned bit = static_cast<unsigned>(pos_ & 7u);
+    ZH_DCHECK_BOUNDS(byte, bytes_.size());
+    const bool value = (bytes_[byte] & (0x80u >> bit)) != 0;
     ++pos_;
-    return bit;
+    return value;
   }
 
   std::uint32_t get_bits(unsigned count) {
+    ZH_ASSERT(count <= 32, "BitReader::get_bits: count=", count,
+              " exceeds 32-bit accumulator");
     std::uint32_t v = 0;
-    for (unsigned i = 0; i < count; ++i) v = (v << 1) | (get() ? 1u : 0u);
+    for (unsigned i = 0; i < count; ++i) v = (v << 1u) | (get() ? 1u : 0u);
     return v;
   }
+
+  /// Total bits in the underlying span (64-bit math; see bit_count above).
+  [[nodiscard]] std::size_t bit_size() const {
+    return static_cast<std::size_t>(bytes_.size()) * 8u;
+  }
+
+  /// Bits not yet consumed.
+  [[nodiscard]] std::size_t remaining() const { return bit_size() - pos_; }
 
   [[nodiscard]] std::size_t position() const { return pos_; }
 

@@ -1,7 +1,12 @@
 #include "cluster/comm.hpp"
 
+#include <cstdint>
 #include <exception>
+#include <map>
 #include <thread>
+#include <utility>
+
+#include "common/contracts.hpp"
 
 namespace zh {
 
@@ -10,6 +15,8 @@ namespace {
 struct Message {
   RankId src;
   int tag;
+  std::uint64_t seq;        ///< mailbox arrival number (framing check)
+  std::size_t framed_size;  ///< payload size recorded at send time
   std::vector<std::byte> payload;
 };
 
@@ -26,9 +33,16 @@ class Cluster {
 
   void deliver(RankId dst, Message msg) {
     ZH_REQUIRE(dst < ranks_, "destination rank out of range");
+    ZH_ASSERT(msg.src < ranks_, "message source rank ", msg.src,
+              " out of range [0, ", ranks_, ")");
+    ZH_ASSERT(msg.framed_size == msg.payload.size(),
+              "message framing corrupted in transit: header says ",
+              msg.framed_size, " bytes, payload holds ",
+              msg.payload.size());
     Mailbox& box = mailboxes_[dst];
     {
       std::lock_guard lock(box.mutex);
+      msg.seq = box.arrivals++;
       box.queue.push_back(std::move(msg));
     }
     box.cv.notify_all();
@@ -36,11 +50,19 @@ class Cluster {
 
   [[nodiscard]] std::vector<std::byte> await(RankId dst, RankId src,
                                              int tag) {
+    // A receive naming a rank that does not exist can never be satisfied;
+    // without the contract this blocks the rank thread forever.
+    ZH_ASSERT(src < ranks_, "recv from rank ", src,
+              " which is outside the cluster of ", ranks_,
+              " ranks (would deadlock)");
     Mailbox& box = mailboxes_[dst];
     std::unique_lock lock(box.mutex);
     for (;;) {
       for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
         if (it->src == src && it->tag == tag) {
+          ZH_ASSERT(it->framed_size == it->payload.size(),
+                    "message framing corrupted in mailbox");
+          check_fifo_order(box, src, tag, it->seq);
           std::vector<std::byte> payload = std::move(it->payload);
           box.queue.erase(it);
           return payload;
@@ -58,6 +80,9 @@ class Cluster {
 
   void barrier() {
     std::unique_lock lock(barrier_mutex_);
+    ZH_ASSERT(barrier_waiting_ < ranks_,
+              "barrier over-subscribed: ", barrier_waiting_,
+              " already waiting out of ", ranks_, " ranks");
     const std::uint64_t gen = barrier_generation_;
     if (++barrier_waiting_ == ranks_) {
       barrier_waiting_ = 0;
@@ -74,7 +99,37 @@ class Cluster {
     std::mutex mutex;
     std::condition_variable cv;
     std::deque<Message> queue;
+    std::uint64_t arrivals = 0;  ///< next arrival sequence number
+#if ZH_ENABLE_CONTRACTS
+    /// Highest seq consumed per (src, tag); guards per-sender FIFO order.
+    std::map<std::pair<RankId, int>, std::uint64_t> taken;
+#endif
   };
+
+  /// The mailbox matches (src, tag) by scanning from the front, and
+  /// deliver() appends, so consumed sequence numbers must be strictly
+  /// increasing per (src, tag) stream -- the per-sender FIFO guarantee
+  /// MPI-style code relies on. Caller holds box.mutex.
+  static void check_fifo_order(Mailbox& box, RankId src, int tag,
+                               std::uint64_t seq) {
+#if ZH_ENABLE_CONTRACTS
+    const auto key = std::make_pair(src, tag);
+    const auto it = box.taken.find(key);
+    if (it != box.taken.end()) {
+      ZH_ASSERT(seq > it->second,
+                "mailbox FIFO order violated for src=", src, " tag=", tag,
+                ": consumed seq ", seq, " after ", it->second);
+      it->second = seq;
+    } else {
+      box.taken.emplace(key, seq);
+    }
+#else
+    (void)box;
+    (void)src;
+    (void)tag;
+    (void)seq;
+#endif
+  }
 
   std::size_t ranks_;
   std::vector<Mailbox> mailboxes_;
@@ -90,7 +145,9 @@ std::size_t Communicator::size() const { return cluster_->size(); }
 void Communicator::send_bytes(RankId dst, int tag,
                               std::vector<std::byte> payload) {
   bytes_sent_ += payload.size();
-  cluster_->deliver(dst, Message{rank_, tag, std::move(payload)});
+  const std::size_t framed = payload.size();
+  cluster_->deliver(dst,
+                    Message{rank_, tag, /*seq=*/0, framed, std::move(payload)});
 }
 
 std::vector<std::byte> Communicator::recv_bytes(RankId src, int tag) {

@@ -1,0 +1,18 @@
+#include "common/contracts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace zh::detail {
+
+[[noreturn]] void contract_fail(const char* file, int line, const char* cond,
+                                const std::string& msg) {
+  // fprintf, not iostreams: the process is in an arbitrary (possibly
+  // lock-holding) state, and stderr must stay unbuffered for death tests.
+  std::fprintf(stderr, "%s:%d: contract violated: %s%s%s\n", file, line,
+               cond, msg.empty() ? "" : " -- ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace zh::detail

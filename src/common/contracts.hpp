@@ -1,0 +1,138 @@
+// Debug contracts and race-checker annotations.
+//
+// The paper's pipeline is only correct while a handful of invariants hold:
+// histogram bin indices stay < B (Sec. III.A), the Step-2 classification
+// partitions tile/polygon pairs cleanly into outside/inside/intersect
+// (Sec. III.B), and BQ-Tree bitstream cursors never run past the encoded
+// quadrant (Sec. IV.A). The CPU substitution adds shared-memory concurrency
+// (ThreadPool + atomics) on top. This header provides the checking macros
+// that make those invariants executable:
+//
+//  * ZH_ASSERT(cond, msg...)        -- internal invariant; aborts on failure.
+//  * ZH_DCHECK_BOUNDS(i, n)         -- index-in-range shorthand.
+//  * ZH_TSAN_ACQUIRE/RELEASE(addr)  -- happens-before edges for TSan where
+//                                      synchronization is hand-rolled.
+//
+// Contracts are ACTIVE in Debug and sanitizer builds (ZH_ENABLE_CONTRACTS=1,
+// set by CMake) and COMPILED OUT in Release/RelWithDebInfo, so the hot
+// kernels pay nothing in production. Unlike ZH_REQUIRE (common/error.hpp),
+// which validates caller-supplied input and throws, a failed ZH_ASSERT is a
+// programming error: it prints the violated condition and aborts so the
+// stack is intact for a debugger / death test.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/error.hpp"
+
+#if !defined(ZH_ENABLE_CONTRACTS)
+#define ZH_ENABLE_CONTRACTS 0
+#endif
+
+namespace zh {
+
+/// True when ZH_ASSERT / ZH_DCHECK_BOUNDS are compiled in. Tests use this
+/// to skip death tests in configurations where contracts are compiled out.
+[[nodiscard]] constexpr bool contracts_enabled() {
+  return ZH_ENABLE_CONTRACTS != 0;
+}
+
+namespace detail {
+
+/// Prints "<file>:<line>: contract violated: <cond> -- <msg>" to stderr and
+/// aborts. Never returns; defined out of line so the failure path adds one
+/// call instruction to instrumented code.
+[[noreturn]] void contract_fail(const char* file, int line, const char* cond,
+                                const std::string& msg);
+
+}  // namespace detail
+}  // namespace zh
+
+#if ZH_ENABLE_CONTRACTS
+
+/// Check an internal invariant. The message is formatted lazily, only on
+/// the failure path.
+#define ZH_ASSERT(cond, ...)                                          \
+  do {                                                                \
+    if (!(cond)) [[unlikely]] {                                       \
+      ::zh::detail::contract_fail(                                    \
+          __FILE__, __LINE__, #cond,                                  \
+          ::zh::detail::format_parts(__VA_ARGS__));                   \
+    }                                                                 \
+  } while (false)
+
+/// Check that index `i` is in [0, n). Values are printed on failure.
+#define ZH_DCHECK_BOUNDS(i, n)                                        \
+  do {                                                                \
+    const auto zh_dcb_i_ = static_cast<std::size_t>(i);               \
+    const auto zh_dcb_n_ = static_cast<std::size_t>(n);               \
+    if (zh_dcb_i_ >= zh_dcb_n_) [[unlikely]] {                        \
+      ::zh::detail::contract_fail(                                    \
+          __FILE__, __LINE__, #i " < " #n,                            \
+          ::zh::detail::format_parts("index ", zh_dcb_i_,             \
+                                     " out of range [0, ", zh_dcb_n_, \
+                                     ")"));                           \
+    }                                                                 \
+  } while (false)
+
+#else  // contracts compiled out: zero runtime cost, operands stay "used"
+       // so Release builds do not sprout -Wunused warnings.
+
+#define ZH_ASSERT(cond, ...) \
+  do {                       \
+    (void)sizeof(cond);      \
+  } while (false)
+
+#define ZH_DCHECK_BOUNDS(i, n) \
+  do {                         \
+    (void)sizeof(i);           \
+    (void)sizeof(n);           \
+  } while (false)
+
+#endif  // ZH_ENABLE_CONTRACTS
+
+// ---------------------------------------------------------------------------
+// ThreadSanitizer happens-before annotations.
+//
+// Most synchronization in the codebase is mutex/condition_variable based,
+// which TSan models natively. The two places that hand-roll ordering --
+// ThreadPool::parallel_for's completion spin-wait and its error-publication
+// path -- rely on release-sequence reasoning over atomic RMWs. TSan's
+// atomic interception handles those too, but the explicit edges double as
+// machine-checked documentation and keep the code safe if a future refactor
+// weakens a memory order.
+// ---------------------------------------------------------------------------
+
+#if defined(__SANITIZE_THREAD__)
+#define ZH_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ZH_TSAN_ENABLED 1
+#endif
+#endif
+#if !defined(ZH_TSAN_ENABLED)
+#define ZH_TSAN_ENABLED 0
+#endif
+
+#if ZH_TSAN_ENABLED
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+/// Declare an acquire edge on `addr` (pairs with ZH_TSAN_RELEASE).
+#define ZH_TSAN_ACQUIRE(addr) __tsan_acquire(const_cast<void*>( \
+    static_cast<const volatile void*>(addr)))
+/// Declare a release edge on `addr`.
+#define ZH_TSAN_RELEASE(addr) __tsan_release(const_cast<void*>( \
+    static_cast<const volatile void*>(addr)))
+#else
+#define ZH_TSAN_ACQUIRE(addr) \
+  do {                        \
+    (void)sizeof(addr);       \
+  } while (false)
+#define ZH_TSAN_RELEASE(addr) \
+  do {                        \
+    (void)sizeof(addr);       \
+  } while (false)
+#endif  // ZH_TSAN_ENABLED

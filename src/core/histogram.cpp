@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "common/contracts.hpp"
+
 namespace zh {
 
 ZonalStats stats_from_histogram(std::span<const BinCount> h) {
@@ -11,6 +13,7 @@ ZonalStats stats_from_histogram(std::span<const BinCount> h) {
   double sum_sq = 0.0;
   bool seen = false;
   for (BinIndex b = 0; b < h.size(); ++b) {
+    ZH_DCHECK_BOUNDS(b, h.size());
     const BinCount c = h[b];
     if (c == 0) continue;
     if (!seen) {
@@ -29,6 +32,10 @@ ZonalStats stats_from_histogram(std::span<const BinCount> h) {
     const double var = std::max(0.0, sum_sq / n - s.mean * s.mean);
     s.stddev = std::sqrt(var);
   }
+  // Non-empty histograms must produce an ordered bin range; both indices
+  // were read from h so they are < h.size() by construction.
+  ZH_ASSERT(s.count == 0 || s.min <= s.max,
+            "stats bin range inverted: min=", s.min, " max=", s.max);
   return s;
 }
 

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/memory.hpp"
 #include "common/types.hpp"
@@ -42,6 +43,9 @@ class HistogramSet {
     groups_ = groups;
     bins_ = bins;
     const std::size_t n = groups * static_cast<std::size_t>(bins);
+    ZH_ASSERT(groups == 0 || n / groups == bins,
+              "histogram table size overflows size_t: ", groups,
+              " groups x ", bins, " bins");
     if (counts_.capacity() < n) {
       counts_.reserve(n);
       if (n * sizeof(BinCount) >= kHugePageHintBytes) {

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "common/contracts.hpp"
+
 namespace zh {
 
 HistogramSet tile_histograms(Device& device, const DemRaster& raster,
@@ -37,9 +39,11 @@ void tile_histograms_into(Device& device, const DemRaster& raster,
       "CellAggrKernel", static_cast<std::uint32_t>(tiling.tile_count()),
       [&, nodata, cols, out](const BlockContext& ctx) {
     const TileId tile = ctx.block_id();
+    ZH_DCHECK_BOUNDS(tile, tiling.tile_count());
     const CellWindow w = tiling.tile_window(tile);
     BinCount* tile_hist = out + static_cast<std::size_t>(tile) * bins;
     const std::size_t n = static_cast<std::size_t>(w.cell_count());
+    const std::size_t cell_count = cells.size();
 
     switch (mode) {
       case CountMode::kAtomic:
@@ -53,10 +57,13 @@ void tile_histograms_into(Device& device, const DemRaster& raster,
                         [&](std::uint32_t lr, std::uint32_t lc) {
                           const std::int64_t r = w.row0 + lr;
                           const std::int64_t c = w.col0 + lc;
-                          const CellValue v = cells[static_cast<std::size_t>(
-                              r * cols + c)];
+                          const std::size_t cell =
+                              static_cast<std::size_t>(r * cols + c);
+                          ZH_DCHECK_BOUNDS(cell, cell_count);
+                          const CellValue v = cells[cell];
                           if (nodata && v == *nodata) return;
                           const BinIndex b = v < bins ? v : bins - 1;
+                          ZH_DCHECK_BOUNDS(b, bins);
                           atomic_add(&tile_hist[b]);
                         });
           break;
@@ -66,9 +73,12 @@ void tile_histograms_into(Device& device, const DemRaster& raster,
                                               w.cols;
           const std::int64_t c = w.col0 + static_cast<std::int64_t>(p) %
                                               w.cols;
-          const CellValue v = cells[static_cast<std::size_t>(r * cols + c)];
+          const std::size_t cell = static_cast<std::size_t>(r * cols + c);
+          ZH_DCHECK_BOUNDS(cell, cell_count);
+          const CellValue v = cells[cell];
           if (nodata && v == *nodata) return;
           const BinIndex b = v < bins ? v : bins - 1;
+          ZH_DCHECK_BOUNDS(b, bins);
           atomic_add(&tile_hist[b]);
         });
         break;
@@ -84,9 +94,12 @@ void tile_histograms_into(Device& device, const DemRaster& raster,
                                               w.cols;
           const std::int64_t c = w.col0 + static_cast<std::int64_t>(p) %
                                               w.cols;
-          const CellValue v = cells[static_cast<std::size_t>(r * cols + c)];
+          const std::size_t cell = static_cast<std::size_t>(r * cols + c);
+          ZH_DCHECK_BOUNDS(cell, cell_count);
+          const CellValue v = cells[cell];
           if (nodata && v == *nodata) return;
           const BinIndex b = v < bins ? v : bins - 1;
+          ZH_DCHECK_BOUNDS(b, bins);
           const std::uint32_t t = static_cast<std::uint32_t>(p % dim);
           ++priv[static_cast<std::size_t>(t) * bins + b];
         });

@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "common/contracts.hpp"
 #include "device/thread_pool.hpp"
 #include "geom/classify.hpp"
 #include "primitives/primitives.hpp"
@@ -93,6 +94,13 @@ PairingResult build_pairing_groups(TilePolygonPairs pairs) {
   // stable_partition combination.
   std::vector<std::uint64_t> keys(pairs.size());
   for (std::size_t i = 0; i < pairs.size(); ++i) {
+    // Sec. III.B: the spatial filter must emit a clean partition -- only
+    // inside/intersect survive (outside pairs were dropped upstream).
+    ZH_ASSERT(pairs.relations[i] == TileRelation::kInside ||
+                  pairs.relations[i] == TileRelation::kIntersect,
+              "pair ", i, " carries relation ",
+              static_cast<int>(pairs.relations[i]),
+              " which is not inside/intersect");
     keys[i] = (static_cast<std::uint64_t>(pairs.relations[i]) << 32) |
               pairs.polygon_ids[i];
   }

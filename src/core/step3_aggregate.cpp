@@ -1,5 +1,7 @@
 #include "core/step3_aggregate.hpp"
 
+#include "common/contracts.hpp"
+
 namespace zh {
 
 void aggregate_inside_tiles(Device& device, const PolygonTileGroups& inside,
@@ -22,14 +24,24 @@ void aggregate_inside_tiles(Device& device, const PolygonTileGroups& inside,
       static_cast<std::uint32_t>(inside.group_count()),
       [&, bins, tiles, polys](const BlockContext& ctx) {
         const std::size_t idx = ctx.block_id();
+        ZH_DCHECK_BOUNDS(idx, inside.group_count());
         const PolygonId pid = inside.pid_v[idx];
         const std::uint32_t num = inside.num_v[idx];
         const std::uint32_t pos = inside.pos_v[idx];
+        // Dispatch-array invariants from the Fig. 4 post-processing: the
+        // group's tile slice lies within tid_v and every id addresses a
+        // real histogram row.
+        ZH_DCHECK_BOUNDS(pid, polygon_hist.groups());
+        ZH_ASSERT(static_cast<std::size_t>(pos) + num <=
+                      inside.pair_count(),
+                  "group tile slice [", pos, ", ", pos + num,
+                  ") exceeds pair count ", inside.pair_count());
         BinCount* out = polys + static_cast<std::size_t>(pid) * bins;
         ctx.strided(bins, [&](std::size_t p) {
           BinCount acc = 0;
           for (std::uint32_t i = 0; i < num; ++i) {
             const TileId w = inside.tid_v[pos + i];
+            ZH_DCHECK_BOUNDS(w, tile_hist.groups());
             acc += tiles[static_cast<std::size_t>(w) * bins + p];
           }
           out[p] += acc;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "common/contracts.hpp"
 #include "geom/pip.hpp"
 
 namespace zh {
@@ -43,9 +44,12 @@ void refine_tile(const RefineCtx& ctx, const BlockContext& block,
     ++local.cell_tests;
     local.edge_tests += p_t - p_f;
     if (point_in_polygon_soa_raw(x_v, y_v, p_f, p_t, center.x, center.y)) {
-      const CellValue v = ctx.cells[static_cast<std::size_t>(r * ctx.cols + c)];
+      const std::size_t cell = static_cast<std::size_t>(r * ctx.cols + c);
+      ZH_DCHECK_BOUNDS(cell, ctx.cells.size());
+      const CellValue v = ctx.cells[cell];
       if (ctx.nodata && v == *ctx.nodata) return;
       const BinIndex b = v < ctx.bins ? v : ctx.bins - 1;
+      ZH_DCHECK_BOUNDS(b, ctx.bins);
       update(&out[b]);
       ++local.counted;
     }
@@ -91,9 +95,15 @@ RefineCounters refine_boundary_tiles(Device& device,
           static_cast<std::uint32_t>(intersect.group_count()),
           [&](const BlockContext& block) {
             const std::size_t idx = block.block_id();
+            ZH_DCHECK_BOUNDS(idx, intersect.group_count());
             const PolygonId pid = intersect.pid_v[idx];
             const std::uint32_t num = intersect.num_v[idx];
             const std::uint32_t pos = intersect.pos_v[idx];
+            ZH_DCHECK_BOUNDS(pid, polygon_hist.groups());
+            ZH_ASSERT(static_cast<std::size_t>(pos) + num <=
+                          intersect.pair_count(),
+                      "group tile slice [", pos, ", ", pos + num,
+                      ") exceeds pair count ", intersect.pair_count());
             const auto [p_f, p_t] = soa.vertex_range(pid);
             BinCount* out =
                 ctx.polys + static_cast<std::size_t>(pid) * ctx.bins;
@@ -123,7 +133,9 @@ RefineCounters refine_boundary_tiles(Device& device,
           static_cast<std::uint32_t>(intersect.pair_count()),
           [&](const BlockContext& block) {
             const std::size_t idx = block.block_id();
+            ZH_DCHECK_BOUNDS(idx, pair_pid.size());
             const PolygonId pid = pair_pid[idx];
+            ZH_DCHECK_BOUNDS(pid, polygon_hist.groups());
             const auto [p_f, p_t] = soa.vertex_range(pid);
             BinCount* out =
                 ctx.polys + static_cast<std::size_t>(pid) * ctx.bins;

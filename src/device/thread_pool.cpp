@@ -5,6 +5,7 @@
 #include <exception>
 #include <memory>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace zh {
@@ -28,8 +29,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::post(std::function<void()> task) {
+  ZH_ASSERT(task != nullptr, "posted an empty task");
   {
     std::lock_guard lock(mutex_);
+    // Posting during shutdown is permitted (the destructor may race with
+    // in-flight producers); the task runs only if a worker is still alive
+    // to drain it. Posting after the destructor returns is caller UB.
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -42,6 +47,8 @@ void ThreadPool::worker_loop() {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
+      // Wait predicate guarantees work is available past this point.
+      ZH_ASSERT(!queue_.empty(), "worker woke with an empty queue");
       task = std::move(queue_.front());
       queue_.pop_front();
     }
@@ -61,28 +68,37 @@ struct ForBatch {
   std::size_t chunk = 1;
   const std::function<void(std::size_t, std::size_t)>* body = nullptr;
   std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> active{0};  // chunks claimed but not finished
+  std::atomic<std::size_t> active{0};  // threads currently draining
   std::atomic<bool> failed{false};
   std::exception_ptr error;
   std::mutex error_mutex;
 
-  // Claim and run chunks until none remain. Returns when this thread can
-  // make no further progress on the batch.
+  // Claim and run chunks until none remain. Registration in `active`
+  // must precede the first claim: `body` lives on the caller's stack, and
+  // the caller frees it once its own drain() returns and active == 0. A
+  // claim made by a thread not yet counted in `active` would let the
+  // caller leave while the claim still needs `body` (a use-after-return
+  // ASan catches).
   void drain() {
+    active.fetch_add(1, std::memory_order_acq_rel);
     for (;;) {
       const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
-      if (begin >= n) return;
+      if (begin >= n) break;
       const std::size_t end = std::min(n, begin + chunk);
-      active.fetch_add(1, std::memory_order_acq_rel);
+      ZH_ASSERT(end <= n, "chunk end past range");
       try {
         if (!failed.load(std::memory_order_relaxed)) (*body)(begin, end);
       } catch (...) {
         std::lock_guard lock(error_mutex);
         if (!error) error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
+        // The caller reads `error` lock-free after observing active == 0;
+        // declare the edge explicitly for the race checker (the release
+        // fetch_sub below carries it for the hardware).
+        ZH_TSAN_RELEASE(&error);
       }
-      active.fetch_sub(1, std::memory_order_acq_rel);
     }
+    active.fetch_sub(1, std::memory_order_acq_rel);
   }
 };
 
@@ -119,10 +135,11 @@ void ThreadPool::parallel_for(
   batch->drain();
 
   // All chunks are claimed once drain() returns on this thread; spin-wait
-  // (with yield) for in-flight chunks owned by helpers to complete.
+  // (with yield) until every registered helper has left its drain loop.
   while (batch->active.load(std::memory_order_acquire) != 0) {
     std::this_thread::yield();
   }
+  ZH_TSAN_ACQUIRE(&batch->error);
   if (batch->error) std::rethrow_exception(batch->error);
 }
 

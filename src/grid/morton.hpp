@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace zh {
@@ -35,9 +36,15 @@ namespace zh {
 }
 
 /// Morton code of (row, col), each < 2^16 (tiles are far smaller).
+/// Coordinates with high bits set would alias a smaller cell after the
+/// 16-bit spread, so the precondition is contract-checked rather than
+/// silently masked in Debug/sanitizer builds.
 [[nodiscard]] constexpr std::uint32_t morton_encode(std::uint32_t row,
                                                     std::uint32_t col) {
-  return (morton_spread16(row) << 1) | morton_spread16(col);
+  ZH_ASSERT(row <= 0xFFFFu && col <= 0xFFFFu,
+            "morton_encode: coordinate exceeds 16 bits (row=", row,
+            ", col=", col, ")");
+  return (morton_spread16(row) << 1u) | morton_spread16(col);
 }
 
 /// Inverse of morton_encode.
@@ -70,8 +77,11 @@ void for_each_cell(std::uint32_t rows, std::uint32_t cols, CellOrder order,
   }
   ZH_REQUIRE(rows <= 0x10000 && cols <= 0x10000,
              "window too large for 32-bit Morton codes");
+  // The loop bound is widened to 64 bits before the comparison: for a
+  // full 65536 x 65536 window max_code is 0xFFFFFFFF and `code <= max_code`
+  // over a 32-bit counter would never terminate.
   const std::uint64_t max_code =
-      morton_encode(rows - 1, cols - 1);
+      static_cast<std::uint64_t>(morton_encode(rows - 1, cols - 1));
   for (std::uint64_t code = 0; code <= max_code; ++code) {
     const MortonCell cell =
         morton_decode(static_cast<std::uint32_t>(code));

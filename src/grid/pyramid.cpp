@@ -40,7 +40,18 @@ DemRaster reduce_once(const DemRaster& src, Resample resample) {
                 }
               }
             }
-            std::sort(vals.begin(), vals.begin() + n);
+            // Insertion sort: for <= 4 values it beats std::sort, whose
+            // inlined introsort also trips GCC's -Warray-bounds here.
+            for (int i = 1; i < n; ++i) {
+              const CellValue v = vals[static_cast<std::size_t>(i)];
+              int j = i;
+              while (j > 0 && vals[static_cast<std::size_t>(j - 1)] > v) {
+                vals[static_cast<std::size_t>(j)] =
+                    vals[static_cast<std::size_t>(j - 1)];
+                --j;
+              }
+              vals[static_cast<std::size_t>(j)] = v;
+            }
             CellValue best = vals[0];
             int best_run = 1;
             int run = 1;

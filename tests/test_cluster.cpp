@@ -187,7 +187,9 @@ TEST_P(ClusterSweep, MergedResultEqualsSingleDeviceRun) {
   EXPECT_GT(result.wall_seconds, 0.0);
   ASSERT_EQ(result.per_rank.size(), ranks);
   ASSERT_EQ(result.rank_seconds.size(), ranks);
-  if (ranks > 1) EXPECT_GT(result.comm_bytes, 0u);
+  if (ranks > 1) {
+    EXPECT_GT(result.comm_bytes, 0u);
+  }
 }
 
 TEST(ClusterDriver, CompressedModeMatchesRawMode) {

@@ -170,8 +170,8 @@ TEST(Conus, ScalingShrinksQuadratically) {
 TEST(Conus, TileSizeMatchesPaperGeometry) {
   EXPECT_EQ(conus::tile_size_cells(1), 360);   // 0.1 deg at 30 m
   EXPECT_EQ(conus::tile_size_cells(30), 12);
-  EXPECT_THROW(conus::tile_size_cells(7), InvalidArgument);
-  EXPECT_THROW(conus::tile_size_cells(3600), InvalidArgument);
+  EXPECT_THROW((void)conus::tile_size_cells(7), InvalidArgument);
+  EXPECT_THROW((void)conus::tile_size_cells(3600), InvalidArgument);
 }
 
 TEST(Conus, GenerateRasterMatchesSpecDims) {

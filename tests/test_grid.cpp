@@ -91,9 +91,9 @@ TEST(Raster, AccessAndEquality) {
 
 TEST(Raster, OutOfRangeAccessThrows) {
   DemRaster r(3, 4);
-  EXPECT_THROW(r.at(3, 0), InvalidArgument);
-  EXPECT_THROW(r.at(0, 4), InvalidArgument);
-  EXPECT_THROW(r.at(-1, 0), InvalidArgument);
+  EXPECT_THROW((void)r.at(3, 0), InvalidArgument);
+  EXPECT_THROW((void)r.at(0, 4), InvalidArgument);
+  EXPECT_THROW((void)r.at(-1, 0), InvalidArgument);
 }
 
 TEST(Raster, CopyWindowPreservesCellsAndGeoreference) {

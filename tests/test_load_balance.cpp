@@ -61,8 +61,8 @@ TEST(LoadBalance, ImbalanceOfPerfectAssignmentIsOne) {
 
 TEST(LoadBalance, SizeMismatchThrows) {
   auto parts = fake_parts(3);
-  EXPECT_THROW(assign_least_loaded(parts, 2, {1.0}), InvalidArgument);
-  EXPECT_THROW(assignment_imbalance(parts, 2, {1.0}), InvalidArgument);
+  EXPECT_THROW((void)assign_least_loaded(parts, 2, {1.0}), InvalidArgument);
+  EXPECT_THROW((void)assignment_imbalance(parts, 2, {1.0}), InvalidArgument);
 }
 
 TEST(LoadBalance, EstimatedCostsReflectPolygonCoverage) {

@@ -40,7 +40,7 @@ TEST(Morton, CodesAreUnique) {
 
 TEST(Morton, ForEachCellVisitsEveryCellOnceInBothOrders) {
   for (const CellOrder order : {CellOrder::kRowMajor, CellOrder::kMorton}) {
-    for (const auto [rows, cols] :
+    for (const auto& [rows, cols] :
          {std::pair{1u, 1u}, std::pair{7u, 5u}, std::pair{16u, 16u},
           std::pair{3u, 33u}}) {
       std::set<std::pair<std::uint32_t, std::uint32_t>> seen;

@@ -27,7 +27,7 @@ TEST(Partitioned, EqualsWholeRasterRun) {
   const ZonalPipeline pipe(dev, {.tile_size = 16, .bins = 200});
 
   const ZonalResult whole = pipe.run(raster, zones);
-  for (const auto [pr, pc] :
+  for (const auto& [pr, pc] :
        {std::pair{1, 1}, std::pair{2, 2}, std::pair{3, 4},
         std::pair{6, 8}}) {
     const ZonalResult parts = pipe.run_partitioned(raster, zones, pr, pc);

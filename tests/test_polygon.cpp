@@ -55,8 +55,8 @@ TEST(PolygonSet, IdsNamesAndTotals) {
   EXPECT_EQ(set.name(a), "alpha");
   EXPECT_EQ(set.name(b), "beta");
   EXPECT_EQ(set.vertex_count(), 12u);
-  EXPECT_THROW(set[5], InvalidArgument);
-  EXPECT_THROW(set.name(5), InvalidArgument);
+  EXPECT_THROW((void)set[5], InvalidArgument);
+  EXPECT_THROW((void)set.name(5), InvalidArgument);
   const GeoBox e = set.extent();
   EXPECT_DOUBLE_EQ(e.min_x, 0.0);
   EXPECT_DOUBLE_EQ(e.max_x, 7.0);
@@ -97,7 +97,7 @@ TEST(PolygonSoA, VertexRangeOutOfBoundsThrows) {
   PolygonSet set;
   set.add(Polygon({square(1, 1, 1)}));
   const PolygonSoA soa = PolygonSoA::build(set);
-  EXPECT_THROW(soa.vertex_range(1), InvalidArgument);
+  EXPECT_THROW((void)soa.vertex_range(1), InvalidArgument);
 }
 
 TEST(PolygonSoA, EmptySetProducesEmptySoA) {

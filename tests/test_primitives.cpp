@@ -89,7 +89,9 @@ TEST_P(PrimitiveSweep, StableSortPermutationIsStableAndSorted) {
     const auto a = keys[perm[i - 1]];
     const auto b = keys[perm[i]];
     ASSERT_LE(a, b);
-    if (a == b) ASSERT_LT(perm[i - 1], perm[i]) << "stability violated";
+    if (a == b) {
+      ASSERT_LT(perm[i - 1], perm[i]) << "stability violated";
+    }
   }
 }
 

@@ -93,7 +93,7 @@ TEST(Quadtree, UniformValueQueries) {
   EXPECT_EQ(tree.uniform_value({5, 20, 10, 10}), CellValue{2});
   EXPECT_EQ(tree.uniform_value({0, 0, 32, 32}), std::nullopt);
   EXPECT_EQ(tree.uniform_value({0, 10, 4, 12}), std::nullopt);
-  EXPECT_THROW(tree.uniform_value({0, 0, 33, 1}), InvalidArgument);
+  EXPECT_THROW((void)tree.uniform_value({0, 0, 33, 1}), InvalidArgument);
 }
 
 TEST(Quadtree, WindowHistogramMatchesDirectCount) {

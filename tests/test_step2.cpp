@@ -102,7 +102,9 @@ TEST(Step2, GroupsAreALosslessReorganization) {
     std::size_t covered = 0;
     for (std::size_t i = 0; i < g.pid_v.size(); ++i) {
       // pid_v strictly increasing: one group per polygon.
-      if (i > 0) ASSERT_LT(g.pid_v[i - 1], g.pid_v[i]);
+      if (i > 0) {
+        ASSERT_LT(g.pid_v[i - 1], g.pid_v[i]);
+      }
       ASSERT_EQ(g.pos_v[i], covered);
       std::multiset<TileId> tiles(
           g.tid_v.begin() + g.pos_v[i],

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -106,6 +108,104 @@ TEST(ThreadPool, PostRuns) {
   });
   while (gate.load() == 0) std::this_thread::yield();
   EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, GrainLargerThanNRunsInlineOnCaller) {
+  // grain > n collapses to a single chunk executed on the calling thread
+  // (no tasks posted, no synchronization).
+  std::atomic<int> calls{0};
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id body_thread;
+  ThreadPool::global().parallel_for(
+      10,
+      [&](std::size_t b, std::size_t e) {
+        ++calls;
+        body_thread = std::this_thread::get_id();
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, 10u);
+      },
+      1000);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(body_thread, caller);
+}
+
+TEST(ThreadPool, ZeroLengthRangeWithGrainNeverInvokesBody) {
+  bool called = false;
+  ThreadPool::global().parallel_for(
+      0, [&](std::size_t, std::size_t) { called = true; }, 128);
+  EXPECT_FALSE(called);
+  // grain == 0 is normalized to 1, not a division hazard.
+  std::atomic<std::size_t> covered{0};
+  ThreadPool::global().parallel_for(
+      17,
+      [&](std::size_t b, std::size_t e) {
+        covered.fetch_add(e - b, std::memory_order_relaxed);
+      },
+      0);
+  EXPECT_EQ(covered.load(), 17u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromInlinePath) {
+  // chunk >= n executes the body inline; the throw must surface unchanged.
+  EXPECT_THROW(ThreadPool::global().parallel_for(
+                   5, [](std::size_t, std::size_t) {
+                     throw std::runtime_error("inline boom");
+                   },
+                   100),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndPoolStaysUsable) {
+  // Every chunk throws; exactly one exception (the first recorded)
+  // propagates, and the pool must remain fully operational afterwards.
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(
+        1024,
+        [](std::size_t b, std::size_t) {
+          throw InvalidArgument("chunk " + std::to_string(b));
+        },
+        1);
+    FAIL() << "parallel_for swallowed the body exceptions";
+  } catch (const InvalidArgument&) {
+  }
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(4096, [&](std::size_t b, std::size_t e) {
+    covered.fetch_add(e - b, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(covered.load(), 4096u);
+}
+
+TEST(ThreadPool, ConcurrentPostDuringShutdownDrainsEverything) {
+  // Tasks re-posting from inside workers race with the destructor setting
+  // stop_. The shutdown protocol (workers exit only on stop_ + empty
+  // queue) guarantees every successfully posted task still executes.
+  std::atomic<int> executed{0};
+  constexpr int kSeeds = 64;
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < kSeeds; ++i) {
+      pool.post([&executed, &pool] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        pool.post(
+            [&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+      });
+    }
+  }  // ~ThreadPool: stop + join; re-posted tasks drain before workers exit
+  EXPECT_EQ(executed.load(), 2 * kSeeds);
+}
+
+TEST(ThreadPool, DestructorRunsAllPendingTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 256; ++i) {
+      pool.post([&executed] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }
+  EXPECT_EQ(executed.load(), 256);
 }
 
 }  // namespace

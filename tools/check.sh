@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Correctness-check driver: runs the warning-clean build, the sanitizer
+# matrix and the clang-tidy pass locally or in CI.
+#
+#   tools/check.sh              # full matrix: dev, asan-ubsan, tsan, tidy
+#   tools/check.sh dev          # RelWithDebInfo + -Werror + full ctest
+#   tools/check.sh asan         # Debug + ASan/UBSan + full ctest
+#   tools/check.sh tsan         # Debug + TSan + concurrency test suites
+#   tools/check.sh tidy         # clang-tidy over src/ (needs clang-tidy)
+#
+# Each stage configures its own build tree (build-dev, build-asan-ubsan,
+# build-tsan, build-tidy) via CMakePresets.json, so stages never poison
+# each other's caches. Every stage builds with ZH_WERROR=ON: warnings are
+# errors here even when the default developer build keeps them advisory.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+CTEST_PARALLEL="${CTEST_PARALLEL:-${JOBS}}"
+
+# Concurrency suites exercised under TSan: ThreadPool + device emulation,
+# thrust-analog primitives, the MPI-like cluster layer, and the stress mix.
+TSAN_FILTER='*ThreadPool*:*Primitive*:*Comm*:*Partition*:*Cluster*:*Stress*:*Device*'
+
+log() { printf '\n\033[1;34m== %s ==\033[0m\n' "$*"; }
+
+configure_and_build() {
+  local preset="$1"
+  log "configure (${preset})"
+  cmake --preset "${preset}" >/dev/null
+  log "build (${preset}, -j${JOBS})"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+}
+
+run_dev() {
+  configure_and_build dev
+  log "ctest (dev)"
+  ctest --preset dev -j "${CTEST_PARALLEL}"
+}
+
+run_asan() {
+  configure_and_build asan-ubsan
+  log "ctest (asan-ubsan)"
+  ctest --preset asan-ubsan -j "${CTEST_PARALLEL}"
+}
+
+run_tsan() {
+  configure_and_build tsan
+  log "concurrency suites (tsan)"
+  TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+    ./build-tsan/tests/zh_tests --gtest_filter="${TSAN_FILTER}" \
+    --gtest_brief=1
+}
+
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    log "clang-tidy not found -- skipping lint stage"
+    echo "install clang-tidy (>= 15) to run the lint gate locally" >&2
+    return 0
+  fi
+  configure_and_build tidy
+  log "clang-tidy (src/)"
+  local sources
+  mapfile -t sources < <(find src -name '*.cpp' | sort)
+  local runner
+  if runner="$(command -v run-clang-tidy)"; then
+    "${runner}" -quiet -p build-tidy -j "${JOBS}" "${sources[@]}"
+  else
+    clang-tidy -p build-tidy --quiet "${sources[@]}"
+  fi
+}
+
+stages=("$@")
+if [[ ${#stages[@]} -eq 0 ]]; then
+  stages=(dev asan tsan tidy)
+fi
+
+for stage in "${stages[@]}"; do
+  case "${stage}" in
+    dev) run_dev ;;
+    asan | asan-ubsan) run_asan ;;
+    tsan) run_tsan ;;
+    tidy) run_tidy ;;
+    *)
+      echo "unknown stage '${stage}' (expected: dev asan tsan tidy)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+log "all requested stages passed"

@@ -1,9 +1,13 @@
 #include "cluster/comm.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <map>
+#include <memory>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "common/contracts.hpp"
@@ -12,12 +16,16 @@ namespace zh {
 
 namespace {
 
+using Clock = Deadline::Clock;
+
 struct Message {
   RankId src;
   int tag;
   std::uint64_t seq;        ///< mailbox arrival number (framing check)
   std::size_t framed_size;  ///< payload size recorded at send time
   std::vector<std::byte> payload;
+  /// Injected-delay release time; min() = visible immediately.
+  Clock::time_point visible_at = Clock::time_point::min();
 };
 
 }  // namespace
@@ -25,11 +33,19 @@ struct Message {
 /// Shared state of one run_cluster invocation.
 class Cluster {
  public:
-  explicit Cluster(std::size_t ranks)
-      : ranks_(ranks), mailboxes_(ranks), barrier_waiting_(0),
-        barrier_generation_(0) {}
+  Cluster(std::size_t ranks, ClusterOptions options)
+      : options_(std::move(options)),
+        has_faults_(!options_.faults.empty()),
+        ranks_(ranks),
+        mailboxes_(ranks),
+        dead_(std::make_unique<std::atomic<bool>[]>(ranks)),
+        barrier_waiting_(0),
+        barrier_generation_(0) {
+    for (std::size_t r = 0; r < ranks; ++r) dead_[r].store(false);
+  }
 
   [[nodiscard]] std::size_t size() const { return ranks_; }
+  [[nodiscard]] const ClusterOptions& options() const { return options_; }
 
   void deliver(RankId dst, Message msg) {
     ZH_REQUIRE(dst < ranks_, "destination rank out of range");
@@ -39,37 +55,156 @@ class Cluster {
               "message framing corrupted in transit: header says ",
               msg.framed_size, " bytes, payload holds ",
               msg.payload.size());
+    FaultAction action;
+    if (has_faults_) {
+      action = options_.faults.action_for(msg.src, dst, msg.tag,
+                                          next_stream_index(msg.src, dst,
+                                                            msg.tag));
+    }
     Mailbox& box = mailboxes_[dst];
     {
       std::lock_guard lock(box.mutex);
+      if (action.drop) {
+        // Lost in transit: parked until a retrying receiver triggers
+        // "retransmission" via recover_lost(). No notify -- the loss is
+        // silent, exactly like a dropped MPI packet.
+        msg.seq = box.arrivals++;
+        box.lost.push_back(std::move(msg));
+        return;
+      }
+      if (action.delay_ms > 0) {
+        msg.visible_at =
+            Clock::now() + std::chrono::milliseconds(action.delay_ms);
+      }
+      Message dup;
+      if (action.duplicate) dup = msg;
       msg.seq = box.arrivals++;
-      box.queue.push_back(std::move(msg));
+      if (action.reorder) {
+        box.queue.push_front(std::move(msg));
+      } else {
+        box.queue.push_back(std::move(msg));
+      }
+      if (action.duplicate) {
+        dup.seq = box.arrivals++;
+        box.queue.push_back(std::move(dup));
+      }
     }
     box.cv.notify_all();
   }
 
-  [[nodiscard]] std::vector<std::byte> await(RankId dst, RankId src,
-                                             int tag) {
-    // A receive naming a rank that does not exist can never be satisfied;
-    // without the contract this blocks the rank thread forever.
+  /// Deadline-bounded matching receive. kRankDead is only reported when
+  /// nothing from `src` is pending or in flight, so messages sent before
+  /// a crash remain receivable.
+  [[nodiscard]] Status await(RankId dst, RankId src, int tag,
+                             Deadline deadline,
+                             std::vector<std::byte>& out) {
     ZH_ASSERT(src < ranks_, "recv from rank ", src,
-              " which is outside the cluster of ", ranks_,
-              " ranks (would deadlock)");
+              " which is outside the cluster of ", ranks_, " ranks");
     Mailbox& box = mailboxes_[dst];
     std::unique_lock lock(box.mutex);
     for (;;) {
+      const Clock::time_point now = Clock::now();
+      Clock::time_point earliest = Clock::time_point::max();
+      bool future_match = false;
       for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+        if (it->src != src || it->tag != tag) continue;
+        if (it->visible_at > now) {
+          future_match = true;
+          earliest = std::min(earliest, it->visible_at);
+          continue;
+        }
+        ZH_ASSERT(it->framed_size == it->payload.size(),
+                  "message framing corrupted in mailbox");
+        if (!has_faults_) check_fifo_order(box, src, tag, it->seq);
+        out = std::move(it->payload);
+        box.queue.erase(it);
+        return Status::ok();
+      }
+      if (!future_match && dead_[src].load(std::memory_order_acquire)) {
+        return Status::error(
+            StatusCode::kRankDead,
+            detail::format_parts("rank ", dst, ": recv from rank ", src,
+                                 " tag ", tag,
+                                 ": peer is dead with no message in flight"));
+      }
+      if (!deadline.is_never() && now >= deadline.when()) {
+        return Status::error(
+            StatusCode::kTimeout,
+            detail::format_parts("rank ", dst, ": recv from rank ", src,
+                                 " tag ", tag, " timed out"));
+      }
+      Clock::time_point wake = deadline.when();
+      if (future_match) wake = std::min(wake, earliest);
+      if (wake == Clock::time_point::max()) {
+        box.cv.wait(lock);
+      } else {
+        box.cv.wait_until(lock, wake);
+      }
+    }
+  }
+
+  /// First visible message from any source with a tag in `tags`.
+  [[nodiscard]] Status await_any(RankId dst, std::span<const int> tags,
+                                 Deadline deadline, AnyMessage& out) {
+    Mailbox& box = mailboxes_[dst];
+    std::unique_lock lock(box.mutex);
+    for (;;) {
+      const Clock::time_point now = Clock::now();
+      Clock::time_point earliest = Clock::time_point::max();
+      bool future_match = false;
+      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+        const bool tag_match =
+            std::find(tags.begin(), tags.end(), it->tag) != tags.end();
+        if (!tag_match) continue;
+        if (it->visible_at > now) {
+          future_match = true;
+          earliest = std::min(earliest, it->visible_at);
+          continue;
+        }
+        out.src = it->src;
+        out.tag = it->tag;
+        out.payload = std::move(it->payload);
+        box.queue.erase(it);
+        return Status::ok();
+      }
+      if (!deadline.is_never() && now >= deadline.when()) {
+        return Status::error(
+            StatusCode::kTimeout,
+            detail::format_parts("rank ", dst,
+                                 ": recv_any timed out with no message"));
+      }
+      Clock::time_point wake = deadline.when();
+      if (future_match) wake = std::min(wake, earliest);
+      if (wake == Clock::time_point::max()) {
+        box.cv.wait(lock);
+      } else {
+        box.cv.wait_until(lock, wake);
+      }
+    }
+  }
+
+  /// Re-deliver messages lost in transit for (dst <- src, tag): the
+  /// in-process analog of sender retransmission after an ack timeout.
+  std::size_t recover_lost(RankId dst, RankId src, int tag) {
+    Mailbox& box = mailboxes_[dst];
+    std::size_t recovered = 0;
+    {
+      std::lock_guard lock(box.mutex);
+      for (auto it = box.lost.begin(); it != box.lost.end();) {
         if (it->src == src && it->tag == tag) {
-          ZH_ASSERT(it->framed_size == it->payload.size(),
-                    "message framing corrupted in mailbox");
-          check_fifo_order(box, src, tag, it->seq);
-          std::vector<std::byte> payload = std::move(it->payload);
-          box.queue.erase(it);
-          return payload;
+          Message msg = std::move(*it);
+          it = box.lost.erase(it);
+          msg.seq = box.arrivals++;
+          msg.visible_at = Clock::time_point::min();
+          box.queue.push_back(std::move(msg));
+          ++recovered;
+        } else {
+          ++it;
         }
       }
-      box.cv.wait(lock);
     }
+    if (recovered > 0) box.cv.notify_all();
+    return recovered;
   }
 
   /// Factory for rank handles (Cluster is a friend of Communicator;
@@ -78,19 +213,77 @@ class Cluster {
     return Communicator(this, rank);
   }
 
-  void barrier() {
+  [[nodiscard]] Status barrier(Deadline deadline) {
     std::unique_lock lock(barrier_mutex_);
     ZH_ASSERT(barrier_waiting_ < ranks_,
               "barrier over-subscribed: ", barrier_waiting_,
               " already waiting out of ", ranks_, " ranks");
+    if (dead_count_ > 0) {
+      return Status::error(StatusCode::kRankDead,
+                           detail::format_parts("barrier with ", dead_count_,
+                                                " dead rank(s) can never "
+                                                "complete"));
+    }
     const std::uint64_t gen = barrier_generation_;
     if (++barrier_waiting_ == ranks_) {
       barrier_waiting_ = 0;
       ++barrier_generation_;
       barrier_cv_.notify_all();
-    } else {
-      barrier_cv_.wait(lock,
-                       [&] { return barrier_generation_ != gen; });
+      return Status::ok();
+    }
+    const auto released = [&] {
+      return barrier_generation_ != gen || dead_count_ > 0;
+    };
+    for (;;) {
+      if (deadline.is_never()) {
+        barrier_cv_.wait(lock, released);
+      } else if (!barrier_cv_.wait_until(lock, deadline.when(), released)) {
+        if (barrier_generation_ != gen) return Status::ok();
+        --barrier_waiting_;  // withdraw; the barrier may be retried
+        return Status::error(StatusCode::kTimeout, "barrier timed out");
+      }
+      if (barrier_generation_ != gen) return Status::ok();
+      if (dead_count_ > 0) {
+        --barrier_waiting_;
+        return Status::error(StatusCode::kRankDead,
+                             "barrier released by rank death");
+      }
+    }
+  }
+
+  /// Mark a rank as exited (crash, error, or completion) and wake every
+  /// waiter so blocked peers observe the death instead of deadlocking.
+  void mark_dead(RankId rank) {
+    {
+      std::lock_guard lock(barrier_mutex_);
+      if (!dead_[rank].exchange(true, std::memory_order_acq_rel)) {
+        ++dead_count_;
+      }
+    }
+    barrier_cv_.notify_all();
+    for (Mailbox& box : mailboxes_) {
+      { std::lock_guard lock(box.mutex); }  // pair with waiters' lock
+      box.cv.notify_all();
+    }
+  }
+
+  [[nodiscard]] bool rank_dead(RankId rank) const {
+    ZH_REQUIRE(rank < ranks_, "rank out of range");
+    return dead_[rank].load(std::memory_order_acquire);
+  }
+
+  /// Visit a crash checkpoint; throws RankCrash on the scripted visit.
+  void checkpoint(RankId rank, CrashPoint point) {
+    const CrashSpec& crash = options_.faults.crash;
+    if (crash.point == CrashPoint::kNone) return;
+    std::uint32_t occurrence = 0;
+    {
+      std::lock_guard lock(checkpoint_mutex_);
+      occurrence = checkpoint_visits_[{rank, point}]++;
+    }
+    if (crash.rank == rank && crash.point == point &&
+        crash.occurrence == occurrence) {
+      throw RankCrash(rank, point, occurrence);
     }
   }
 
@@ -99,6 +292,7 @@ class Cluster {
     std::mutex mutex;
     std::condition_variable cv;
     std::deque<Message> queue;
+    std::deque<Message> lost;  ///< dropped in transit, recoverable by retry
     std::uint64_t arrivals = 0;  ///< next arrival sequence number
 #if ZH_ENABLE_CONTRACTS
     /// Highest seq consumed per (src, tag); guards per-sender FIFO order.
@@ -109,7 +303,8 @@ class Cluster {
   /// The mailbox matches (src, tag) by scanning from the front, and
   /// deliver() appends, so consumed sequence numbers must be strictly
   /// increasing per (src, tag) stream -- the per-sender FIFO guarantee
-  /// MPI-style code relies on. Caller holds box.mutex.
+  /// MPI-style code relies on. Skipped when a FaultPlan injects
+  /// reordering/duplication on purpose. Caller holds box.mutex.
   static void check_fifo_order(Mailbox& box, RankId src, int tag,
                                std::uint64_t seq) {
 #if ZH_ENABLE_CONTRACTS
@@ -131,16 +326,37 @@ class Cluster {
 #endif
   }
 
+  /// Deterministic per-(src, dst, tag) message index for fault decisions.
+  std::uint64_t next_stream_index(RankId src, RankId dst, int tag) {
+    std::lock_guard lock(stream_mutex_);
+    return stream_counters_[std::make_tuple(src, dst, tag)]++;
+  }
+
+  ClusterOptions options_;
+  bool has_faults_;
   std::size_t ranks_;
   std::vector<Mailbox> mailboxes_;
+  std::unique_ptr<std::atomic<bool>[]> dead_;
+
+  std::mutex stream_mutex_;
+  std::map<std::tuple<RankId, RankId, int>, std::uint64_t> stream_counters_;
+
+  std::mutex checkpoint_mutex_;
+  std::map<std::pair<RankId, CrashPoint>, std::uint32_t> checkpoint_visits_;
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
   std::size_t barrier_waiting_;
   std::uint64_t barrier_generation_;
+  std::size_t dead_count_ = 0;  ///< guarded by barrier_mutex_
 };
 
 std::size_t Communicator::size() const { return cluster_->size(); }
+
+Deadline Communicator::default_deadline() const {
+  const std::int64_t ms = cluster_->options().default_timeout_ms;
+  return ms <= 0 ? Deadline::never() : Deadline::after_ms(ms);
+}
 
 void Communicator::send_bytes(RankId dst, int tag,
                               std::vector<std::byte> payload) {
@@ -151,15 +367,75 @@ void Communicator::send_bytes(RankId dst, int tag,
 }
 
 std::vector<std::byte> Communicator::recv_bytes(RankId src, int tag) {
-  return cluster_->await(rank_, src, tag);
+  std::vector<std::byte> out;
+  recv_bytes(src, tag, default_deadline(), out).throw_if_error();
+  return out;
 }
 
-void Communicator::barrier() { cluster_->barrier(); }
+Status Communicator::recv_bytes(RankId src, int tag, Deadline deadline,
+                                std::vector<std::byte>& out,
+                                const RetryPolicy& retry) {
+  // Early attempts use the truncated backoff schedule and recover lost
+  // messages between them; the final attempt waits out the caller's full
+  // deadline so a slow-but-healthy sender is never failed prematurely.
+  std::int64_t attempt_ms = retry.initial_timeout_ms;
+  const std::uint32_t attempts = std::max(retry.max_attempts, 1u);
+  for (std::uint32_t attempt = 0; attempt + 1 < attempts; ++attempt) {
+    const Deadline slice = Deadline::after_ms(attempt_ms).min(deadline);
+    Status s = cluster_->await(rank_, src, tag, slice, out);
+    if (s.code() != StatusCode::kTimeout &&
+        !(s.code() == StatusCode::kRankDead &&
+          cluster_->recover_lost(rank_, src, tag) > 0)) {
+      return s;
+    }
+    if (deadline.expired()) {
+      return Status::error(
+          StatusCode::kTimeout,
+          detail::format_parts("rank ", rank_, ": recv from rank ", src,
+                               " tag ", tag, " timed out after ", attempt + 1,
+                               " attempt(s)"));
+    }
+    cluster_->recover_lost(rank_, src, tag);
+    attempt_ms = static_cast<std::int64_t>(
+        static_cast<double>(attempt_ms) * retry.backoff);
+  }
+  return cluster_->await(rank_, src, tag, deadline, out);
+}
+
+Status Communicator::recv_any(std::span<const int> tags, Deadline deadline,
+                              AnyMessage& out) {
+  return cluster_->await_any(rank_, tags, deadline, out);
+}
+
+std::size_t Communicator::recover_lost(RankId src, int tag) {
+  return cluster_->recover_lost(rank_, src, tag);
+}
+
+Status Communicator::barrier(Deadline deadline) {
+  return cluster_->barrier(deadline);
+}
+
+void Communicator::barrier() {
+  cluster_->barrier(default_deadline()).throw_if_error();
+}
+
+bool Communicator::rank_dead(RankId r) const {
+  return cluster_->rank_dead(r);
+}
+
+void Communicator::checkpoint(CrashPoint point) {
+  cluster_->checkpoint(rank_, point);
+}
 
 void run_cluster(std::size_t ranks,
                  const std::function<void(Communicator&)>& body) {
+  run_cluster(ranks, ClusterOptions{}, body);
+}
+
+void run_cluster(std::size_t ranks, const ClusterOptions& options,
+                 const std::function<void(Communicator&)>& body) {
   ZH_REQUIRE(ranks >= 1, "cluster needs at least one rank");
-  Cluster cluster(ranks);
+  Cluster cluster(ranks, options);
 
   std::exception_ptr error;
   std::mutex error_mutex;
@@ -174,10 +450,19 @@ void run_cluster(std::size_t ranks,
       Communicator comm = cluster.make_comm(r);
       try {
         body(comm);
+      } catch (const RankCrash&) {
+        if (!options.tolerate_rank_crash) {
+          std::lock_guard lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        // Tolerated: the rank simply goes silent, like a lost node.
       } catch (...) {
         std::lock_guard lock(error_mutex);
         if (!error) error = std::current_exception();
       }
+      // Every exit path marks the rank dead so peers blocked on it fail
+      // fast (kRankDead) instead of hanging until their deadline.
+      cluster.mark_dead(r);
     });
   }
   for (auto& t : threads) t.join();

@@ -8,6 +8,20 @@
 // are built on the same point-to-point layer, so the communication
 // pattern (and its serialization volume, which we account) matches the
 // MPI implementation structurally.
+//
+// Fault model (service-grade additions):
+//  * every blocking call is deadline-bounded -- the legacy throwing
+//    overloads use ClusterOptions::default_timeout_ms and throw
+//    TimeoutError instead of hanging; Status-returning overloads take an
+//    explicit Deadline;
+//  * the point-to-point layer retries with exponential backoff: a
+//    message "dropped in transit" by a FaultPlan is recovered on retry,
+//    modelling sender retransmission;
+//  * a rank that exits (crash or exception) is marked dead; peers
+//    blocked on it get StatusCode::kRankDead instead of deadlocking;
+//  * a FaultPlan in ClusterOptions injects drop/duplicate/reorder/delay
+//    per message and scripted crashes at checkpoints, deterministically
+//    per seed.
 #pragma once
 
 #include <condition_variable>
@@ -20,12 +34,41 @@
 #include <span>
 #include <vector>
 
+#include "cluster/fault.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace zh {
 
 class Cluster;
+
+/// Bounded retry with exponential backoff for point-to-point receives.
+/// Each attempt waits up to the attempt budget, then asks the transport
+/// to recover in-flight ("dropped") messages -- the in-process analog of
+/// a sender retransmitting after an ack timeout.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;
+  std::int64_t initial_timeout_ms = 50;
+  double backoff = 2.0;  ///< attempt budget multiplier
+};
+
+/// Knobs of one run_cluster invocation.
+struct ClusterOptions {
+  FaultPlan faults;  ///< message/crash injection (empty = no faults)
+  /// RankCrash thrown in a rank body kills only that rank (it goes
+  /// silent; survivors keep running). Off: it propagates like any error.
+  bool tolerate_rank_crash = false;
+  /// Deadline applied by the legacy (non-Status) blocking overloads so
+  /// no public call can block unboundedly.
+  std::int64_t default_timeout_ms = 30000;
+};
+
+/// A message received by recv_any: payload plus provenance.
+struct AnyMessage {
+  RankId src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
 
 /// Per-rank handle used inside run_cluster bodies.
 class Communicator {
@@ -34,70 +77,164 @@ class Communicator {
   [[nodiscard]] std::size_t size() const;
 
   /// Point-to-point send of raw bytes with a user tag (non-blocking:
-  /// enqueues into the destination mailbox).
+  /// enqueues into the destination mailbox; never waits).
   void send_bytes(RankId dst, int tag, std::vector<std::byte> payload);
 
   /// Blocking receive of the next message from `src` with `tag`.
+  /// Bounded by the cluster default timeout; throws TimeoutError on
+  /// expiry and Error if `src` died with no matching message in flight.
   [[nodiscard]] std::vector<std::byte> recv_bytes(RankId src, int tag);
+
+  /// Deadline-bounded receive with retransmission recovery. Returns
+  /// kTimeout when the deadline (or retry budget) expires and kRankDead
+  /// when `src` is dead with nothing recoverable in flight.
+  [[nodiscard]] Status recv_bytes(RankId src, int tag, Deadline deadline,
+                                  std::vector<std::byte>& out,
+                                  const RetryPolicy& retry = {});
+
+  /// Receive the next visible message from any source whose tag is in
+  /// `tags` (master-side supervision loop). No retransmission recovery;
+  /// returns kTimeout on deadline expiry.
+  [[nodiscard]] Status recv_any(std::span<const int> tags, Deadline deadline,
+                                AnyMessage& out);
+
+  /// Trigger retransmission of messages from `src` with `tag` that were
+  /// dropped in transit (fault injection). Returns how many were
+  /// recovered into the mailbox. Supervision loops using recv_any call
+  /// this periodically; recv_bytes' retry path calls it automatically.
+  std::size_t recover_lost(RankId src, int tag);
 
   /// Typed send/recv of trivially copyable element spans.
   template <typename T>
   void send(RankId dst, int tag, std::span<const T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
     std::vector<std::byte> bytes(data.size_bytes());
-    std::memcpy(bytes.data(), data.data(), data.size_bytes());
+    // Empty sends are legal protocol messages (e.g. the "done"
+    // assignment); memcpy's pointers must be non-null even for n == 0.
+    if (!data.empty()) {
+      std::memcpy(bytes.data(), data.data(), data.size_bytes());
+    }
     send_bytes(dst, tag, std::move(bytes));
   }
 
   template <typename T>
-  [[nodiscard]] std::vector<T> recv(RankId src, int tag) {
+  [[nodiscard]] Status recv(RankId src, int tag, Deadline deadline,
+                            std::vector<T>& out,
+                            const RetryPolicy& retry = {}) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const std::vector<std::byte> bytes = recv_bytes(src, tag);
-    ZH_REQUIRE(bytes.size() % sizeof(T) == 0,
-               "message size not a multiple of element size");
-    std::vector<T> out(bytes.size() / sizeof(T));
-    std::memcpy(out.data(), bytes.data(), bytes.size());
+    std::vector<std::byte> bytes;
+    if (Status s = recv_bytes(src, tag, deadline, bytes, retry);
+        !s.is_ok()) {
+      return s;
+    }
+    if (bytes.size() % sizeof(T) != 0) {
+      return Status::error(
+          StatusCode::kCorrupt,
+          detail::format_parts(
+              "rank ", rank_, ": message from rank ", src, " tag ", tag,
+              " has ", bytes.size(), " bytes, not a multiple of element size ",
+              sizeof(T)));
+    }
+    out.resize(bytes.size() / sizeof(T));
+    if (!bytes.empty()) {
+      std::memcpy(out.data(), bytes.data(), bytes.size());
+    }
+    return Status::ok();
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> recv(RankId src, int tag) {
+    std::vector<T> out;
+    recv(src, tag, default_deadline(), out).throw_if_error();
     return out;
   }
 
   /// Gather every rank's buffer at `root` (rank order). Non-roots get an
   /// empty result.
   template <typename T>
-  [[nodiscard]] std::vector<std::vector<T>> gather(
-      RankId root, std::span<const T> mine, int tag = kGatherTag) {
+  [[nodiscard]] Status gather(RankId root, std::span<const T> mine,
+                              Deadline deadline,
+                              std::vector<std::vector<T>>& out,
+                              int tag = kGatherTag,
+                              const RetryPolicy& retry = {}) {
+    out.clear();
     if (rank_ != root) {
       send<T>(root, tag, mine);
-      return {};
+      return Status::ok();
     }
-    std::vector<std::vector<T>> all(size());
+    out.resize(size());
     for (RankId r = 0; r < size(); ++r) {
       if (r == root) {
-        all[r].assign(mine.begin(), mine.end());
-      } else {
-        all[r] = recv<T>(r, tag);
+        out[r].assign(mine.begin(), mine.end());
+        continue;
+      }
+      if (Status s = recv<T>(r, tag, deadline, out[r], retry); !s.is_ok()) {
+        return s;
       }
     }
-    return all;
+    return Status::ok();
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> gather(
+      RankId root, std::span<const T> mine, int tag = kGatherTag) {
+    std::vector<std::vector<T>> out;
+    gather<T>(root, mine, default_deadline(), out, tag).throw_if_error();
+    return out;
   }
 
   /// Element-wise sum-reduce of equal-length buffers at `root` (the
   /// master-side histogram combine). Non-roots get an empty vector.
   template <typename T>
+  [[nodiscard]] Status reduce_sum(RankId root, std::span<const T> mine,
+                                  Deadline deadline, std::vector<T>& out,
+                                  int tag = kReduceTag,
+                                  const RetryPolicy& retry = {}) {
+    std::vector<std::vector<T>> all;
+    if (Status s = gather<T>(root, mine, deadline, all, tag, retry);
+        !s.is_ok()) {
+      return s;
+    }
+    out.clear();
+    if (rank_ != root) return Status::ok();
+    out.assign(mine.size(), T{});
+    for (std::size_t r = 0; r < all.size(); ++r) {
+      if (all[r].size() != out.size()) {
+        return Status::error(
+            StatusCode::kCorrupt,
+            detail::format_parts("reduce at root ", root, ": rank ", r,
+                                 " contributed ", all[r].size(),
+                                 " elements, expected ", out.size()));
+      }
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += all[r][i];
+    }
+    return Status::ok();
+  }
+
+  template <typename T>
   [[nodiscard]] std::vector<T> reduce_sum(RankId root,
                                           std::span<const T> mine,
                                           int tag = kReduceTag) {
-    auto all = gather<T>(root, mine, tag);
-    if (rank_ != root) return {};
-    std::vector<T> acc(mine.size(), T{});
-    for (const auto& buf : all) {
-      ZH_REQUIRE(buf.size() == acc.size(), "reduce length mismatch");
-      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += buf[i];
-    }
-    return acc;
+    std::vector<T> out;
+    reduce_sum<T>(root, mine, default_deadline(), out, tag).throw_if_error();
+    return out;
   }
 
-  /// Synchronize all ranks.
+  /// Synchronize all ranks, bounded by `deadline`. Returns kRankDead if
+  /// any rank died (the barrier can then never complete) and kTimeout on
+  /// expiry; a timed-out rank withdraws and may retry.
+  [[nodiscard]] Status barrier(Deadline deadline);
+
+  /// Synchronize all ranks (cluster default timeout; throws on failure).
   void barrier();
+
+  /// Whether `r` has exited (crash or completion). Dead ranks never send
+  /// again; pending in-flight messages remain receivable.
+  [[nodiscard]] bool rank_dead(RankId r) const;
+
+  /// Visit a named crash checkpoint: throws RankCrash when the cluster's
+  /// FaultPlan scripts this rank to die at this visit. No-op otherwise.
+  void checkpoint(CrashPoint point);
 
   /// Bytes this rank has sent so far (communication-volume accounting).
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
@@ -110,14 +247,22 @@ class Communicator {
   Communicator(Cluster* cluster, RankId rank)
       : cluster_(cluster), rank_(rank) {}
 
+  [[nodiscard]] Deadline default_deadline() const;
+
   Cluster* cluster_;
   RankId rank_;
   std::uint64_t bytes_sent_ = 0;
 };
 
 /// Launch `ranks` threads, each running body(comm). Returns when all
-/// ranks finish; rethrows the first rank exception.
+/// ranks finish; rethrows the first rank exception. A rank that exits is
+/// marked dead so peers blocked on it fail fast instead of deadlocking.
 void run_cluster(std::size_t ranks,
+                 const std::function<void(Communicator&)>& body);
+
+/// As above with explicit options (fault injection, crash tolerance,
+/// default timeout).
+void run_cluster(std::size_t ranks, const ClusterOptions& options,
                  const std::function<void(Communicator&)>& body);
 
 }  // namespace zh

@@ -1,0 +1,157 @@
+#include "cluster/fault.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <vector>
+
+namespace zh {
+
+namespace {
+
+/// splitmix64: tiny, high-quality 64-bit mixer. Keyed per decision so
+/// drop/dup/reorder/delay draws are independent streams.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform draw in [0, 1) keyed by (plan seed, message identity, stream).
+double draw(const FaultPlan& plan, RankId src, RankId dst, int tag,
+            std::uint64_t index, std::uint64_t stream) {
+  std::uint64_t h = mix64(plan.seed ^ (stream * 0xA24BAED4963EE407ull));
+  h = mix64(h ^ (static_cast<std::uint64_t>(src) << 32 | dst));
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)));
+  h = mix64(h ^ index);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::array<std::pair<std::string_view, CrashPoint>, 6> kPointNames{
+    {{"none", CrashPoint::kNone},
+     {"startup", CrashPoint::kStartup},
+     {"partition_start", CrashPoint::kPartitionStart},
+     {"partition_done", CrashPoint::kPartitionDone},
+     {"result_sent", CrashPoint::kResultSent},
+     {"before_finish", CrashPoint::kBeforeFinish}}};
+
+double parse_prob(std::string_view key, std::string_view value) {
+  const std::string v(value);
+  char* end = nullptr;
+  const double p = std::strtod(v.c_str(), &end);
+  ZH_REQUIRE(end == v.c_str() + v.size() && p >= 0.0 && p <= 1.0,
+             "fault plan: '", key, "' must be a probability in [0,1], got '",
+             value, "'");
+  return p;
+}
+
+std::uint64_t parse_u64(std::string_view key, std::string_view value) {
+  const std::string v(value);
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+  ZH_REQUIRE(end == v.c_str() + v.size() && !v.empty(), "fault plan: '", key,
+             "' must be a non-negative integer, got '", value, "'");
+  return n;
+}
+
+CrashSpec parse_crash(std::string_view value) {
+  const auto at = value.find('@');
+  ZH_REQUIRE(at != std::string_view::npos,
+             "fault plan: crash spec must be <rank>@<point>[#occurrence], "
+             "got '", value, "'");
+  CrashSpec spec;
+  spec.rank = static_cast<RankId>(parse_u64("crash", value.substr(0, at)));
+  std::string_view rest = value.substr(at + 1);
+  const auto hash = rest.find('#');
+  if (hash != std::string_view::npos) {
+    spec.occurrence = static_cast<std::uint32_t>(
+        parse_u64("crash occurrence", rest.substr(hash + 1)));
+    rest = rest.substr(0, hash);
+  }
+  for (const auto& [name, point] : kPointNames) {
+    if (rest == name) {
+      spec.point = point;
+      return spec;
+    }
+  }
+  throw InvalidArgument(detail::format_parts(
+      "fault plan: unknown crash point '", rest,
+      "' (expected startup, partition_start, partition_done, result_sent, "
+      "or before_finish)"));
+}
+
+}  // namespace
+
+std::string_view to_string(CrashPoint point) {
+  for (const auto& [name, p] : kPointNames) {
+    if (p == point) return name;
+  }
+  return "unknown";
+}
+
+RankCrash::RankCrash(RankId rank, CrashPoint point, std::uint32_t occurrence)
+    : Error(detail::format_parts("rank ", rank, " crashed at ",
+                                 to_string(point), " #", occurrence,
+                                 " (scripted fault)")),
+      rank_(rank),
+      point_(point) {}
+
+FaultAction FaultPlan::action_for(RankId src, RankId dst, int tag,
+                                  std::uint64_t index) const {
+  FaultAction action;
+  if (drop_prob > 0.0 && draw(*this, src, dst, tag, index, 1) < drop_prob) {
+    action.drop = true;
+    return action;  // a dropped message has no other fate
+  }
+  if (duplicate_prob > 0.0 &&
+      draw(*this, src, dst, tag, index, 2) < duplicate_prob) {
+    action.duplicate = true;
+  }
+  if (reorder_prob > 0.0 &&
+      draw(*this, src, dst, tag, index, 3) < reorder_prob) {
+    action.reorder = true;
+  }
+  if (delay_prob > 0.0 && draw(*this, src, dst, tag, index, 4) < delay_prob) {
+    action.delay_ms = delay_ms;
+  }
+  return action;
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    auto comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    ZH_REQUIRE(eq != std::string_view::npos,
+               "fault plan: expected key=value, got '", item, "'");
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = parse_u64(key, value);
+    } else if (key == "drop") {
+      plan.drop_prob = parse_prob(key, value);
+    } else if (key == "dup") {
+      plan.duplicate_prob = parse_prob(key, value);
+    } else if (key == "reorder") {
+      plan.reorder_prob = parse_prob(key, value);
+    } else if (key == "delay") {
+      plan.delay_prob = parse_prob(key, value);
+    } else if (key == "delay_ms") {
+      plan.delay_ms = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "crash") {
+      plan.crash = parse_crash(value);
+    } else {
+      throw InvalidArgument(detail::format_parts(
+          "fault plan: unknown key '", key,
+          "' (expected seed, drop, dup, reorder, delay, delay_ms, crash)"));
+    }
+  }
+  return plan;
+}
+
+}  // namespace zh

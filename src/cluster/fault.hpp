@@ -1,0 +1,105 @@
+// Deterministic fault injection for the in-process cluster.
+//
+// The paper's cluster runs executed on Titan, where dropped messages,
+// stragglers, and node loss are operational reality. A FaultPlan scripts
+// those failures deterministically: message-level faults (drop / delay /
+// duplicate / reorder) are decided by a counter-keyed hash of
+// (seed, src, dst, tag, message index), so the same seed reproduces the
+// same delivery schedule regardless of thread interleaving; rank crashes
+// fire at named pipeline checkpoints. Tests and benches feed a plan
+// through run_cluster / run_cluster_zonal to rehearse failure scenarios
+// that real MPI jobs only hit in production.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace zh {
+
+/// Pipeline checkpoints at which a scripted crash can fire. The cluster
+/// driver visits these in order for every partition it processes.
+enum class CrashPoint : std::uint8_t {
+  kNone = 0,
+  kStartup,         ///< before any partition work on the rank
+  kPartitionStart,  ///< before computing a partition
+  kPartitionDone,   ///< after computing, before sending the result
+  kResultSent,      ///< after the per-partition result left the rank
+  kBeforeFinish,    ///< before the final completion handshake
+};
+
+/// Human-readable checkpoint name ("partition_done", ...).
+[[nodiscard]] std::string_view to_string(CrashPoint point);
+
+/// Thrown inside a rank to simulate node loss. run_cluster treats it as
+/// rank death (the rank goes silent; survivors keep running) when
+/// ClusterOptions::tolerate_rank_crash is set, and as a test error
+/// otherwise.
+class RankCrash : public Error {
+ public:
+  RankCrash(RankId rank, CrashPoint point, std::uint32_t occurrence);
+
+  [[nodiscard]] RankId rank() const { return rank_; }
+  [[nodiscard]] CrashPoint point() const { return point_; }
+
+ private:
+  RankId rank_;
+  CrashPoint point_;
+};
+
+/// Per-message fault decision produced by a FaultPlan.
+struct FaultAction {
+  bool drop = false;     ///< message is lost in transit (recoverable by retry)
+  bool duplicate = false;  ///< message is delivered twice
+  bool reorder = false;  ///< message jumps the mailbox queue
+  std::uint32_t delay_ms = 0;  ///< message becomes visible only after this
+
+  [[nodiscard]] bool any() const {
+    return drop || duplicate || reorder || delay_ms > 0;
+  }
+};
+
+/// Scripted crash: rank `rank` dies at the `occurrence`-th visit (0-based)
+/// of checkpoint `point`.
+struct CrashSpec {
+  RankId rank = 0;
+  CrashPoint point = CrashPoint::kNone;
+  std::uint32_t occurrence = 0;
+};
+
+/// Seedable description of what goes wrong during a cluster run. An empty
+/// (default) plan injects nothing and costs one branch per message.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double reorder_prob = 0.0;
+  double delay_prob = 0.0;
+  std::uint32_t delay_ms = 20;  ///< delay applied when the delay fault fires
+  CrashSpec crash;              ///< at most one scripted crash
+
+  [[nodiscard]] bool empty() const {
+    return drop_prob == 0.0 && duplicate_prob == 0.0 &&
+           reorder_prob == 0.0 && delay_prob == 0.0 &&
+           crash.point == CrashPoint::kNone;
+  }
+
+  /// The deterministic fault decision for the `index`-th message on the
+  /// (src, dst, tag) stream. Pure function of the plan and its arguments.
+  [[nodiscard]] FaultAction action_for(RankId src, RankId dst, int tag,
+                                       std::uint64_t index) const;
+
+  /// Parse a comma-separated spec, e.g.
+  ///   "seed=7,drop=0.1,dup=0.05,reorder=0.1,delay=0.2,delay_ms=50,
+  ///    crash=2@partition_done#1"
+  /// Keys: seed, drop, dup, reorder, delay, delay_ms,
+  /// crash=<rank>@<point>[#occurrence] with point one of startup,
+  /// partition_start, partition_done, result_sent, before_finish.
+  /// Throws InvalidArgument on malformed specs.
+  [[nodiscard]] static FaultPlan parse(std::string_view spec);
+};
+
+}  // namespace zh

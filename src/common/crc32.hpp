@@ -1,0 +1,28 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for container
+// integrity checks. The .zgrid/.bq loaders verify header and payload
+// checksums so truncation and bit-flips surface as IoError instead of
+// decoded garbage -- cheap insurance when rasters travel across job
+// schedulers and parallel filesystems.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zh {
+
+/// Incremental CRC-32 accumulator (init 0xFFFFFFFF, final xor-out).
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t size);
+
+  /// Finalized checksum of everything fed so far (does not reset state).
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a buffer.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size);
+
+}  // namespace zh

@@ -4,10 +4,13 @@
 // programming errors.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace zh {
 
@@ -27,6 +30,96 @@ class IoError : public Error {
 class InvalidArgument : public Error {
  public:
   explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A blocking operation exceeded its deadline (cluster comm timeouts).
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// Point in time a blocking call must give up at. Deadlines compose
+/// naturally across retries: each attempt waits until min(deadline,
+/// attempt budget), so nesting never extends the caller's bound.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No bound -- for calls that are documented to be externally bounded
+  /// (e.g. the caller supervises the peer and marks it dead on failure).
+  [[nodiscard]] static Deadline never() { return Deadline(Clock::time_point::max()); }
+
+  [[nodiscard]] static Deadline after_ms(std::int64_t ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+
+  [[nodiscard]] static Deadline at(Clock::time_point when) {
+    return Deadline(when);
+  }
+
+  [[nodiscard]] bool is_never() const {
+    return when_ == Clock::time_point::max();
+  }
+  [[nodiscard]] bool expired() const {
+    return !is_never() && Clock::now() >= when_;
+  }
+  [[nodiscard]] Clock::time_point when() const { return when_; }
+
+  /// The earlier of this deadline and `other`.
+  [[nodiscard]] Deadline min(Deadline other) const {
+    return Deadline(when_ < other.when_ ? when_ : other.when_);
+  }
+
+ private:
+  explicit Deadline(Clock::time_point when) : when_(when) {}
+  Clock::time_point when_;
+};
+
+/// Outcome category of a Status-returning call.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kTimeout,   ///< deadline passed before the operation could complete
+  kRankDead,  ///< the peer rank crashed or was declared dead
+  kCorrupt,   ///< data failed an integrity check
+};
+
+/// Error-or-ok result for calls that must not throw on expected runtime
+/// failures (timeouts, dead peers). Exception-throwing wrappers call
+/// throw_if_error() at the API boundary.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  ///< ok
+
+  [[nodiscard]] static Status ok() { return {}; }
+  [[nodiscard]] static Status error(StatusCode code, std::string message) {
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Map to the matching exception type; no-op when ok.
+  void throw_if_error() const {
+    switch (code_) {
+      case StatusCode::kOk:
+        return;
+      case StatusCode::kTimeout:
+        throw TimeoutError(message_);
+      case StatusCode::kCorrupt:
+        throw IoError(message_);
+      case StatusCode::kRankDead:
+        break;
+    }
+    throw Error(message_);
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
 };
 
 namespace detail {

@@ -1,11 +1,35 @@
 #include "core/cluster_driver.hpp"
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <cstring>
 #include <mutex>
 
 #include "core/load_balance.hpp"
 
 namespace zh {
+
+namespace {
+
+using Clock = Deadline::Clock;
+
+// Protocol tags of the fault-tolerant mode (worker <-> master).
+constexpr int kTagHeartbeat = 100;  ///< worker -> master: u32 partition index
+constexpr int kTagResult = 101;  ///< worker -> master: u32 index + histogram
+constexpr int kTagMore = 102;    ///< worker -> master: request for more work
+constexpr int kTagAssign = 103;  ///< master -> worker: u32 list (empty=done)
+
+std::vector<std::byte> encode_result(std::uint32_t part_index,
+                                     std::span<const BinCount> bins) {
+  std::vector<std::byte> bytes(sizeof(part_index) + bins.size_bytes());
+  std::memcpy(bytes.data(), &part_index, sizeof(part_index));
+  std::memcpy(bytes.data() + sizeof(part_index), bins.data(),
+              bins.size_bytes());
+  return bytes;
+}
+
+}  // namespace
 
 ClusterRunResult run_cluster_zonal(
     const std::vector<DemRaster>& rasters,
@@ -14,6 +38,7 @@ ClusterRunResult run_cluster_zonal(
   ZH_REQUIRE(rasters.size() == schemas.size(),
              "one partition schema per raster required");
   ZH_REQUIRE(config.ranks >= 1, "need at least one rank");
+  const FaultToleranceConfig& ft = config.fault_tolerance;
 
   // Build the global partition list (tile-aligned) and assign owners.
   std::vector<RasterPartition> parts;
@@ -26,12 +51,18 @@ ClusterRunResult run_cluster_zonal(
           RasterPartition{static_cast<std::uint32_t>(i), w, 0});
     }
   }
-  if (config.assignment == PartitionAssignment::kCostBalanced) {
+  // Partition costs drive both the cost-balanced initial assignment and
+  // the LPT ordering of reassigned work in fault-tolerant mode.
+  std::vector<double> costs;
+  if (config.assignment == PartitionAssignment::kCostBalanced ||
+      ft.enabled) {
     std::vector<GeoTransform> transforms;
     transforms.reserve(rasters.size());
     for (const DemRaster& r : rasters) transforms.push_back(r.transform());
-    const std::vector<double> costs = estimate_partition_costs(
-        parts, transforms, config.zonal.tile_size, polygons);
+    costs = estimate_partition_costs(parts, transforms,
+                                     config.zonal.tile_size, polygons);
+  }
+  if (config.assignment == PartitionAssignment::kCostBalanced) {
     assign_least_loaded(parts, config.ranks, costs);
   } else {
     assign_round_robin(parts, config.ranks);
@@ -43,61 +74,361 @@ ClusterRunResult run_cluster_zonal(
   result.per_rank.assign(config.ranks, StepTimes{});
   result.per_rank_work.assign(config.ranks, WorkCounters{});
   result.rank_seconds.assign(config.ranks, 0.0);
+  result.rank_outcomes.assign(config.ranks, RankOutcome{});
   std::mutex result_mutex;
   std::atomic<std::uint64_t> comm_bytes{0};
   constexpr RankId kRoot = 0;
 
-  run_cluster(config.ranks, [&](Communicator& comm) {
+  const auto compute_partition = [&](ZonalPipeline& pipeline,
+                                     ZonalWorkspace& workspace,
+                                     std::uint32_t index) {
+    const RasterPartition& part = parts[index];
+    const DemRaster& src = rasters[part.raster_index];
+    const DemRaster window = src.copy_window(part.window);
+    if (config.compress) {
+      const BqCompressedRaster compressed =
+          BqCompressedRaster::encode(window, config.zonal.tile_size);
+      return pipeline.run(compressed, polygons, &workspace);
+    }
+    return pipeline.run(window, polygons, soa, &workspace);
+  };
+
+  if (!ft.enabled) {
+    // Static mode: the paper's fixed-assignment run with one final
+    // reduce. No failure handling -- any rank error fails the job.
+    run_cluster(config.ranks, [&](Communicator& comm) {
+      const RankId me = comm.rank();
+      Timer wall;
+
+      // Each rank gets its own virtual device (one accelerator per node,
+      // as on Titan).
+      Device device(config.device_profile);
+      ZonalPipeline pipeline(device, config.zonal);
+
+      HistogramSet local(polygons.size(), config.zonal.bins);
+      StepTimes times;
+      WorkCounters work;
+      std::uint32_t done = 0;
+      ZonalWorkspace workspace;  // per-tile table reused across partitions
+
+      for (std::uint32_t i = 0; i < parts.size(); ++i) {
+        if (parts[i].owner != me) continue;
+        const ZonalResult r = compute_partition(pipeline, workspace, i);
+        local.add(r.per_polygon);
+        times += r.times;
+        work += r.work;
+        ++done;
+      }
+
+      // Master-side merge: element-wise sum of per-polygon histograms
+      // ("the master node was used to combine per-polygon histograms").
+      const std::vector<BinCount> merged =
+          comm.reduce_sum<BinCount>(kRoot, local.flat());
+      const double rank_wall = wall.seconds();
+
+      {
+        std::lock_guard lock(result_mutex);
+        result.per_rank[me] = times;
+        result.per_rank_work[me] = work;
+        result.rank_seconds[me] = rank_wall;
+        result.rank_outcomes[me].partitions_completed = done;
+        result.work += work;
+        if (me == kRoot) {
+          result.merged = HistogramSet(polygons.size(), config.zonal.bins);
+          std::copy(merged.begin(), merged.end(),
+                    result.merged.flat().begin());
+        }
+      }
+      comm_bytes.fetch_add(comm.bytes_sent(), std::memory_order_relaxed);
+    });
+
+    result.comm_bytes = comm_bytes.load();
+    for (const double s : result.rank_seconds) {
+      result.wall_seconds = std::max(result.wall_seconds, s);
+    }
+    return result;
+  }
+
+  // ---- Fault-tolerant mode: supervised master-worker dispatch. ----
+  //
+  // Workers stream one result message per partition; the master
+  // accumulates each partition exactly once (first copy wins), so
+  // duplicate deliveries, straggler late results, and recomputation
+  // after reassignment all stay exact. Completion is idempotent per
+  // partition index -- the whole recovery scheme rests on that.
+  result.merged = HistogramSet(polygons.size(), config.zonal.bins);
+
+  ClusterOptions options;
+  options.faults = ft.faults;
+  options.tolerate_rank_crash = true;
+
+  // Crash fates are recorded by the dying ranks themselves (one writer
+  // per element): the master can finish before it observes a death that
+  // happened after the rank's last useful message, so its view alone
+  // would make the outcome table timing-dependent.
+  std::vector<char> rank_crashed(config.ranks, 0);
+  std::vector<RankOutcome> master_outcome(config.ranks);
+
+  run_cluster(config.ranks, options, [&](Communicator& comm) {
     const RankId me = comm.rank();
     Timer wall;
-
-    // Each rank gets its own virtual device (one accelerator per node,
-    // as on Titan).
     Device device(config.device_profile);
     ZonalPipeline pipeline(device, config.zonal);
+    ZonalWorkspace workspace;
 
-    HistogramSet local(polygons.size(), config.zonal.bins);
-    StepTimes times;
-    WorkCounters work;
-    ZonalWorkspace workspace;  // per-tile table reused across partitions
+    // Flush accounting after every partition, not at the end: a rank
+    // that crashes later keeps what it already contributed.
+    const auto flush = [&](const ZonalResult& r) {
+      std::lock_guard lock(result_mutex);
+      result.per_rank[me] += r.times;
+      result.per_rank_work[me] += r.work;
+      result.work += r.work;
+    };
 
-    for (const RasterPartition& part : parts) {
-      if (part.owner != me) continue;
-      const DemRaster& src = rasters[part.raster_index];
-      const DemRaster window = src.copy_window(part.window);
-      ZonalResult r;
-      if (config.compress) {
-        const BqCompressedRaster compressed =
-            BqCompressedRaster::encode(window, config.zonal.tile_size);
-        r = pipeline.run(compressed, polygons, &workspace);
-      } else {
-        r = pipeline.run(window, polygons, soa, &workspace);
+    if (me != kRoot) {
+      try {
+        comm.checkpoint(CrashPoint::kStartup);
+        const auto process = [&](std::uint32_t index) {
+          comm.checkpoint(CrashPoint::kPartitionStart);
+          comm.send<std::uint32_t>(
+              kRoot, kTagHeartbeat,
+              std::span<const std::uint32_t>(&index, 1));
+          const ZonalResult r =
+              compute_partition(pipeline, workspace, index);
+          comm.checkpoint(CrashPoint::kPartitionDone);
+          comm.send_bytes(kRoot, kTagResult,
+                          encode_result(index, r.per_polygon.flat()));
+          comm.checkpoint(CrashPoint::kResultSent);
+          flush(r);
+        };
+        for (std::uint32_t i = 0; i < parts.size(); ++i) {
+          if (parts[i].owner == me) process(i);
+        }
+        // Pull loop: ask for reassigned work until the master says done.
+        for (;;) {
+          comm.send_bytes(kRoot, kTagMore, {});
+          const std::vector<std::uint32_t> assigned =
+              comm.recv<std::uint32_t>(kRoot, kTagAssign);
+          if (assigned.empty()) break;
+          for (const std::uint32_t index : assigned) process(index);
+        }
+        comm.checkpoint(CrashPoint::kBeforeFinish);
+      } catch (const RankCrash&) {
+        rank_crashed[me] = 1;  // sole writer of this element
+        throw;
       }
-      local.add(r.per_polygon);
-      times += r.times;
-      work += r.work;
+      {
+        std::lock_guard lock(result_mutex);
+        result.rank_seconds[me] = wall.seconds();
+      }
+      comm_bytes.fetch_add(comm.bytes_sent(), std::memory_order_relaxed);
+      return;
     }
 
-    // Master-side merge: element-wise sum of per-polygon histograms
-    // ("the master node was used to combine per-polygon histograms").
-    const std::vector<BinCount> merged =
-        comm.reduce_sum<BinCount>(kRoot, local.flat());
-    const double rank_wall = wall.seconds();
+    // ---- Master: compute own partitions, then supervise workers. ----
+    const std::size_t total = parts.size();
+    std::vector<char> completed(total, 0);
+    std::size_t completed_count = 0;
+    std::vector<RankOutcome> outcome(comm.size());
+
+    const auto accumulate = [&](std::uint32_t index,
+                                std::span<const BinCount> bins) {
+      if (completed[index] != 0) return false;  // first copy wins
+      completed[index] = 1;
+      ++completed_count;
+      auto flat = result.merged.flat();
+      ZH_REQUIRE(bins.size() == flat.size(),
+                 "partition result size mismatch: got ", bins.size(),
+                 " bins, expected ", flat.size());
+      for (std::size_t i = 0; i < flat.size(); ++i) flat[i] += bins[i];
+      return true;
+    };
+
+    const auto compute_own = [&](std::uint32_t index) {
+      const ZonalResult r = compute_partition(pipeline, workspace, index);
+      accumulate(index, r.per_polygon.flat());
+      ++outcome[kRoot].partitions_completed;
+      flush(r);
+    };
+
+    for (std::uint32_t i = 0; i < parts.size(); ++i) {
+      if (parts[i].owner == kRoot) compute_own(i);
+    }
+
+    // Worker supervision state.
+    enum class WState : std::uint8_t { kActive, kParked, kDead };
+    std::vector<WState> wstate(comm.size(), WState::kActive);
+    std::vector<Clock::time_point> last_seen(comm.size(), Clock::now());
+    std::vector<std::vector<std::uint32_t>> open(comm.size());
+    for (std::uint32_t i = 0; i < parts.size(); ++i) {
+      if (parts[i].owner != kRoot) open[parts[i].owner].push_back(i);
+    }
+    std::vector<std::uint32_t> orphans;  // kept cost-descending (LPT)
+    std::vector<char> sent_done(comm.size(), 0);
+
+    const auto send_done = [&](RankId r) {
+      if (sent_done[r] != 0) return;
+      comm.send<std::uint32_t>(r, kTagAssign, {});
+      sent_done[r] = 1;
+    };
+    const auto declare_dead = [&](RankId r, RankState state) {
+      wstate[r] = WState::kDead;
+      outcome[r].state = state;
+      for (const std::uint32_t index : open[r]) {
+        if (completed[index] == 0) {
+          orphans.push_back(index);
+          ++outcome[r].partitions_reassigned;
+        }
+      }
+      open[r].clear();
+      std::stable_sort(orphans.begin(), orphans.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return costs[a] > costs[b];
+                       });
+      // A timed-out rank may merely be a straggler: release it so it
+      // exits once it surfaces instead of waiting for work forever.
+      if (state == RankState::kTimedOut) send_done(r);
+    };
+    // Hand the largest orphaned partition to `r` (LPT greedy: the
+    // requester is by construction the least-loaded survivor).
+    const auto serve = [&](RankId r) {
+      while (!orphans.empty() && completed[orphans.front()] != 0) {
+        orphans.erase(orphans.begin());  // stale entry, already done
+      }
+      if (orphans.empty()) return false;
+      const std::uint32_t index = orphans.front();
+      orphans.erase(orphans.begin());
+      comm.send<std::uint32_t>(r, kTagAssign,
+                               std::span<const std::uint32_t>(&index, 1));
+      open[r].push_back(index);
+      wstate[r] = WState::kActive;
+      last_seen[r] = Clock::now();
+      return true;
+    };
+
+    constexpr std::array<int, 3> kTags{kTagHeartbeat, kTagResult, kTagMore};
+    const std::int64_t poll_ms =
+        std::clamp<std::int64_t>(ft.worker_timeout_ms / 10, 1, 20);
+    const auto handle = [&](const AnyMessage& msg) {
+      last_seen[msg.src] = Clock::now();
+      if (msg.tag == kTagHeartbeat) {
+        ++outcome[msg.src].heartbeats;
+      } else if (msg.tag == kTagResult) {
+        ZH_REQUIRE(msg.payload.size() >= sizeof(std::uint32_t),
+                   "short partition result from rank ", msg.src);
+        std::uint32_t index = 0;
+        std::memcpy(&index, msg.payload.data(), sizeof(index));
+        ZH_REQUIRE(index < total, "partition index ", index,
+                   " out of range from rank ", msg.src);
+        const std::size_t nbins =
+            (msg.payload.size() - sizeof(index)) / sizeof(BinCount);
+        std::vector<BinCount> bins(nbins);
+        std::memcpy(bins.data(), msg.payload.data() + sizeof(index),
+                    nbins * sizeof(BinCount));
+        if (accumulate(index, bins)) {
+          ++outcome[msg.src].partitions_completed;
+        }
+        auto& mine = open[msg.src];
+        mine.erase(std::remove(mine.begin(), mine.end(), index),
+                   mine.end());
+      } else {  // kTagMore
+        if (!serve(msg.src)) {
+          if (completed_count == total) {
+            send_done(msg.src);
+          } else {
+            // Hold the request: reassignable work may still appear if
+            // another rank dies. Parked ranks are excluded from the
+            // silence check -- they are waiting on us.
+            wstate[msg.src] = WState::kParked;
+          }
+        }
+      }
+    };
+    while (completed_count < total) {
+      // Trigger retransmission of protocol messages dropped in transit.
+      for (RankId r = 1; r < comm.size(); ++r) {
+        if (wstate[r] == WState::kDead) continue;
+        for (const int tag : kTags) comm.recover_lost(r, tag);
+      }
+      AnyMessage msg;
+      const Status s =
+          comm.recv_any(kTags, Deadline::after_ms(poll_ms), msg);
+      const Clock::time_point now = Clock::now();
+      if (s.is_ok()) handle(msg);
+      // Death detection: crashed ranks are flagged by the runtime; a
+      // silent-but-alive rank (straggler) is declared dead after the
+      // heartbeat window.
+      for (RankId r = 1; r < comm.size(); ++r) {
+        if (wstate[r] == WState::kDead) continue;
+        if (comm.rank_dead(r)) {
+          // Everything the rank sent before dying is already enqueued
+          // (in-process sends are synchronous). Drain it first so
+          // finished partitions are credited to the rank instead of
+          // being orphaned and recomputed.
+          for (const int tag : kTags) comm.recover_lost(r, tag);
+          AnyMessage pending;
+          while (comm.recv_any(kTags, Deadline::after_ms(0), pending)
+                     .is_ok()) {
+            handle(pending);
+          }
+          declare_dead(r, RankState::kCrashed);
+        } else if (wstate[r] == WState::kActive &&
+                   now - last_seen[r] >
+                       std::chrono::milliseconds(ft.worker_timeout_ms)) {
+          declare_dead(r, RankState::kTimedOut);
+        }
+      }
+      // Reassign orphaned work to parked survivors (LPT order).
+      for (RankId r = 1; r < comm.size() && !orphans.empty(); ++r) {
+        if (wstate[r] == WState::kParked) serve(r);
+      }
+      while (!orphans.empty() && completed[orphans.front()] != 0) {
+        orphans.erase(orphans.begin());
+      }
+      bool any_live = false;
+      for (RankId r = 1; r < comm.size(); ++r) {
+        any_live = any_live || wstate[r] != WState::kDead;
+      }
+      if (!orphans.empty() && !any_live) {
+        if (!ft.master_takeover) break;  // degraded: coverage gap reported
+        const std::vector<std::uint32_t> leftover = std::move(orphans);
+        orphans.clear();
+        for (const std::uint32_t index : leftover) {
+          if (completed[index] == 0) compute_own(index);
+        }
+      }
+      if (!any_live && orphans.empty() && completed_count < total) {
+        break;  // defensive: nothing can make progress any more
+      }
+    }
+
+    // Wind down: release every worker we have not released yet. Crashed
+    // ranks never read their mailbox again; the send is harmless.
+    for (RankId r = 1; r < comm.size(); ++r) send_done(r);
 
     {
       std::lock_guard lock(result_mutex);
-      result.per_rank[me] = times;
-      result.per_rank_work[me] = work;
-      result.rank_seconds[me] = rank_wall;
-      result.work += work;
-      if (me == kRoot) {
-        result.merged = HistogramSet(polygons.size(), config.zonal.bins);
-        std::copy(merged.begin(), merged.end(),
-                  result.merged.flat().begin());
+      // Fates are merged with the worker-recorded crash flags after the
+      // cluster joins; here only the master-side counters are staged.
+      for (RankId r = 0; r < comm.size(); ++r) master_outcome[r] = outcome[r];
+      result.degraded = completed_count < total;
+      for (std::uint32_t i = 0; i < total; ++i) {
+        if (completed[i] == 0) result.incomplete_partitions.push_back(i);
       }
+      result.rank_seconds[kRoot] = wall.seconds();
     }
     comm_bytes.fetch_add(comm.bytes_sent(), std::memory_order_relaxed);
   });
+
+  // Merge fates now that every rank has joined: a worker's own crash
+  // record wins over the master's (possibly unfinished) observation, so
+  // the outcome table is deterministic even when the run completes
+  // before the master notices a post-result crash.
+  for (RankId r = 0; r < config.ranks; ++r) {
+    RankOutcome o = master_outcome[r];
+    if (rank_crashed[r] != 0) o.state = RankState::kCrashed;
+    result.rank_outcomes[r] = o;
+  }
 
   result.comm_bytes = comm_bytes.load();
   for (const double s : result.rank_seconds) {

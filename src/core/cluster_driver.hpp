@@ -1,11 +1,24 @@
 // Multi-node zonal histogramming (Sec. IV.C: Titan cluster runs).
 //
 // Partitions a multi-raster dataset per its Table-1 partition schemas,
-// assigns partitions to ranks round-robin, runs the full pipeline per
-// partition on each rank, and sum-reduces per-polygon histograms at the
-// master rank (polygons can span partitions, so the merge is additive).
-// The reported wall time is the maximum across ranks including the MPI
-// communication -- the paper's measurement convention.
+// assigns partitions to ranks, runs the full pipeline per partition on
+// each rank, and sum-reduces per-polygon histograms at the master rank
+// (polygons can span partitions, so the merge is additive). The reported
+// wall time is the maximum across ranks including the MPI communication
+// -- the paper's measurement convention.
+//
+// Two execution modes:
+//  * static (default): the seed behavior -- fixed assignment, one final
+//    reduce, no failure handling;
+//  * fault-tolerant: workers stream one result message per partition and
+//    the master supervises them (heartbeats + timeouts). A rank that
+//    crashes or goes silent has its unfinished partitions reassigned to
+//    surviving workers (LPT order) or computed by the master itself, so
+//    the merged histograms stay bit-identical to the fault-free run
+//    (invariant 6 extended) whenever every partition completes; a
+//    `degraded` flag plus coverage list is returned when it does not.
+//    The master (rank 0) is the single point of failure, like the
+//    paper's MPI master: crash checkpoints never fire on it.
 #pragma once
 
 #include <cstdint>
@@ -26,12 +39,47 @@ enum class PartitionAssignment : std::uint8_t {
   kCostBalanced,
 };
 
+/// Fault-tolerant-mode knobs.
+struct FaultToleranceConfig {
+  bool enabled = false;
+  /// A worker silent for longer than this is declared dead and its
+  /// unfinished partitions reassigned. Must exceed the worst-case
+  /// per-partition compute time (workers heartbeat once per partition).
+  std::int64_t worker_timeout_ms = 2000;
+  /// The master computes partitions no surviving worker can take. Off,
+  /// such partitions are reported as incomplete (degraded result) --
+  /// mainly a hook for exercising the degraded path in tests.
+  bool master_takeover = true;
+  /// Point-to-point retry/backoff for protocol messages.
+  RetryPolicy retry;
+  /// Scripted failures (message faults + rank crashes) for tests/benches.
+  FaultPlan faults;
+};
+
 struct ClusterRunConfig {
   std::size_t ranks = 1;
   ZonalConfig zonal;
   DeviceProfile device_profile = DeviceProfile::k20();
   bool compress = false;  ///< run Step 0 from BQ-Tree-compressed partitions
   PartitionAssignment assignment = PartitionAssignment::kRoundRobin;
+  FaultToleranceConfig fault_tolerance;
+};
+
+/// How a rank ended the run.
+enum class RankState : std::uint8_t {
+  kCompleted = 0,  ///< finished normally
+  kCrashed,        ///< died at a scripted crash checkpoint
+  kTimedOut,       ///< declared dead after heartbeat silence (straggler)
+};
+
+/// Per-rank accounting of a fault-tolerant run.
+struct RankOutcome {
+  RankState state = RankState::kCompleted;
+  std::uint32_t partitions_completed = 0;  ///< results the master accepted
+  std::uint32_t partitions_reassigned = 0;  ///< taken away after death
+  std::uint64_t heartbeats = 0;  ///< progress messages the master saw
+
+  bool operator==(const RankOutcome&) const = default;
 };
 
 struct ClusterRunResult {
@@ -42,6 +90,11 @@ struct ClusterRunResult {
   double wall_seconds = 0.0;          ///< max over ranks
   std::uint64_t comm_bytes = 0;       ///< total bytes sent
   WorkCounters work;                  ///< summed over partitions
+  std::vector<RankOutcome> rank_outcomes;  ///< per-rank fate (all modes)
+  /// True when some partitions never completed (their contribution is
+  /// missing from `merged`); the indices are listed for coverage reports.
+  bool degraded = false;
+  std::vector<std::uint32_t> incomplete_partitions;
 };
 
 /// Partition each raster of `rasters` with the matching schema in

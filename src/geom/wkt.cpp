@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -57,6 +58,9 @@ class Scanner {
     const double v = std::strtod(begin, &end);
     ZH_REQUIRE_IO(end != begin, "expected number at offset ", pos_,
                   " in WKT");
+    // strtod happily parses "nan" and "inf"; coordinates must be finite.
+    ZH_REQUIRE_IO(std::isfinite(v), "non-finite coordinate at offset ",
+                  pos_, " in WKT");
     pos_ += static_cast<std::size_t>(end - begin);
     return v;
   }

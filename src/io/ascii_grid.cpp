@@ -1,6 +1,7 @@
 #include "io/ascii_grid.hpp"
 
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -75,6 +76,25 @@ DemRaster read_ascii_grid(const std::string& path) {
   }
   ZH_REQUIRE_IO(ncols > 0 && nrows > 0 && cellsize > 0,
                 "incomplete ASCII grid header in ", path);
+  ZH_REQUIRE_IO(std::isfinite(xll) && std::isfinite(yll) &&
+                    std::isfinite(cellsize),
+                "non-finite ASCII grid header value in ", path);
+  // Guard allocation before trusting the header: each declared cell needs
+  // at least two bytes in the file (a digit plus a separator), so a header
+  // whose cell count cannot fit in the file is lying. Check each dim
+  // first so the product cannot overflow.
+  constexpr std::int64_t kDimLimit = std::int64_t{1} << 31;
+  ZH_REQUIRE_IO(ncols < kDimLimit && nrows < kDimLimit,
+                "ASCII grid dims ", nrows, "x", ncols, " too large in ",
+                path);
+  std::error_code size_ec;
+  const std::uintmax_t file_size = std::filesystem::file_size(path, size_ec);
+  ZH_REQUIRE_IO(!size_ec, "cannot stat ", path);
+  const std::uintmax_t cells = static_cast<std::uintmax_t>(nrows) *
+                               static_cast<std::uintmax_t>(ncols);
+  ZH_REQUIRE_IO(cells <= file_size,
+                "ASCII grid header declares ", cells, " cells but ", path,
+                " has only ", file_size, " bytes");
 
   const double origin_y = yll + cellsize * static_cast<double>(nrows);
   DemRaster raster(nrows, ncols,

@@ -1,4 +1,4 @@
-// .bq: on-disk container for BQ-Tree-compressed rasters.
+// .bq: on-disk container for BQ-Tree-compressed rasters (version 2).
 //
 // The paper ships the CONUS SRTM data as BQ-Tree streams precisely so the
 // (much smaller) compressed form is what moves across disk and PCIe;
@@ -6,11 +6,19 @@
 // compressed input without re-encoding.
 //
 // Layout (little-endian):
-//   magic "ZBQ1"
-//   rows i64, cols i64, tile_size i64
-//   geotransform: 4 doubles
-//   tile count u64, then per tile:
+//   magic   "ZBQF"
+//   version u32                currently 2
+//   header blob:
+//     rows i64, cols i64, tile_size i64
+//     geotransform             4 doubles
+//     tile count u64
+//   header CRC32               u32 over the header blob
+//   per tile:
 //     rows u32, cols u32, plane_mask u16, payload size u32, payload bytes
+//   payload CRC32              u32 over all tile-record bytes
+// The CRCs turn truncation and bit-flips into IoError instead of silently
+// decoded garbage; legacy checksum-free "ZBQ1" files are rejected with a
+// re-encode hint.
 #pragma once
 
 #include <string>
@@ -19,8 +27,11 @@
 
 namespace zh {
 
+/// Write `raster` to `path`. Throws IoError on failure.
 void write_bq(const std::string& path, const BqCompressedRaster& raster);
 
+/// Read a .bq file. Throws IoError on malformed, truncated, corrupted
+/// (CRC mismatch), or legacy/unsupported-version input.
 [[nodiscard]] BqCompressedRaster read_bq(const std::string& path);
 
 }  // namespace zh

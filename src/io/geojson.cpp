@@ -1,6 +1,7 @@
 #include "io/geojson.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -119,6 +120,10 @@ class JsonParser {
     char* end = nullptr;
     const double v = std::strtod(begin, &end);
     ZH_REQUIRE_IO(end != begin, "expected number at offset ", pos_);
+    // strtod parses "nan"/"inf", which JSON forbids and downstream
+    // geometry code cannot tolerate.
+    ZH_REQUIRE_IO(std::isfinite(v), "non-finite JSON number at offset ",
+                  pos_);
     pos_ += static_cast<std::size_t>(end - begin);
     return v;
   }
@@ -163,6 +168,7 @@ class JsonParser {
   }
 
   JsonValue parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     JsonArray arr;
     if (consume(']')) return JsonValue{std::move(arr)};
@@ -174,6 +180,7 @@ class JsonParser {
   }
 
   JsonValue parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     JsonObject obj;
     if (consume('}')) return JsonValue{std::move(obj)};
@@ -186,8 +193,23 @@ class JsonParser {
     return JsonValue{std::move(obj)};
   }
 
+  /// Bounds recursion so adversarial "[[[[..." input cannot blow the
+  /// stack; real GeoJSON nests at most ~6 levels deep.
+  static constexpr int kMaxDepth = 64;
+  struct DepthGuard {
+    explicit DepthGuard(JsonParser& p) : parser(p) {
+      ZH_REQUIRE_IO(++parser.depth_ <= kMaxDepth,
+                    "JSON nesting exceeds depth limit of ", kMaxDepth);
+    }
+    ~DepthGuard() { --parser.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    JsonParser& parser;
+  };
+
   std::string_view s_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 // ---------------- GeoJSON geometry extraction ----------------

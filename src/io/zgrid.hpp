@@ -1,14 +1,19 @@
-// .zgrid: the project's simple binary raster container.
+// .zgrid: the project's simple binary raster container (version 2).
 //
 // Layout (little-endian):
 //   magic   "ZGRD"            4 bytes
-//   version u32               currently 1
-//   rows    i64, cols i64
-//   geotransform              4 doubles: origin_x, origin_y, cell_w, cell_h
-//   nodata  u8 flag + u16 value
+//   version u32               currently 2
+//   header blob:
+//     rows    i64, cols i64
+//     geotransform            4 doubles: origin_x, origin_y, cell_w, cell_h
+//     nodata  u8 flag + u16 value
+//   header CRC32              u32 over the header blob
 //   cells   rows*cols u16, row-major
+//   payload CRC32             u32 over the cell bytes
 // Stands in for the GeoTIFF inputs of the paper; benches and examples use
-// it to persist synthetic DEMs.
+// it to persist synthetic DEMs. The CRCs make any truncation or bit-flip
+// an IoError instead of silently decoded garbage; version-1 files (no
+// checksums) are rejected with a re-encode hint.
 #pragma once
 
 #include <string>
@@ -20,7 +25,8 @@ namespace zh {
 /// Write `raster` to `path`. Throws IoError on failure.
 void write_zgrid(const std::string& path, const DemRaster& raster);
 
-/// Read a .zgrid file. Throws IoError on malformed input.
+/// Read a .zgrid file. Throws IoError on malformed, truncated, corrupted
+/// (CRC mismatch), or unsupported-version input.
 [[nodiscard]] DemRaster read_zgrid(const std::string& path);
 
 }  // namespace zh

@@ -11,7 +11,9 @@
 #include "bqtree/bqtree.hpp"               // IWYU pragma: export
 #include "bqtree/compressed_raster.hpp"    // IWYU pragma: export
 #include "cluster/comm.hpp"                // IWYU pragma: export
+#include "cluster/fault.hpp"               // IWYU pragma: export
 #include "cluster/partition.hpp"           // IWYU pragma: export
+#include "common/crc32.hpp"                // IWYU pragma: export
 #include "common/error.hpp"                // IWYU pragma: export
 #include "common/timer.hpp"                // IWYU pragma: export
 #include "common/types.hpp"                // IWYU pragma: export

@@ -6,6 +6,7 @@
 #   tools/check.sh dev          # RelWithDebInfo + -Werror + full ctest
 #   tools/check.sh asan         # Debug + ASan/UBSan + full ctest
 #   tools/check.sh tsan         # Debug + TSan + concurrency test suites
+#   tools/check.sh faults       # fault-injection suites (dev + asan-ubsan)
 #   tools/check.sh tidy         # clang-tidy over src/ (needs clang-tidy)
 #
 # Each stage configures its own build tree (build-dev, build-asan-ubsan,
@@ -20,8 +21,13 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 CTEST_PARALLEL="${CTEST_PARALLEL:-${JOBS}}"
 
 # Concurrency suites exercised under TSan: ThreadPool + device emulation,
-# thrust-analog primitives, the MPI-like cluster layer, and the stress mix.
-TSAN_FILTER='*ThreadPool*:*Primitive*:*Comm*:*Partition*:*Cluster*:*Stress*:*Device*'
+# thrust-analog primitives, the MPI-like cluster layer (including the
+# fault-injection and timeout/heartbeat paths), and the stress mix.
+TSAN_FILTER='*ThreadPool*:*Primitive*:*Comm*:*Partition*:*Cluster*:*Stress*:*Device*:*Fault*'
+
+# Fault-tolerance suites: deterministic fault injection, timeout/retry,
+# straggler recovery, corruption-detecting I/O, and the parser corpus.
+FAULT_FILTER='*Fault*:*ClusterRecovery*:*ParserRobustness*:*CorruptIo*'
 
 log() { printf '\n\033[1;34m== %s ==\033[0m\n' "$*"; }
 
@@ -53,6 +59,20 @@ run_tsan() {
     --gtest_brief=1
 }
 
+run_faults() {
+  # Fault scenarios under both the optimized build (timing-sensitive
+  # paths at full speed) and ASan/UBSan (memory safety when recovery,
+  # retry, and corrupted-input paths fire).
+  configure_and_build dev
+  log "fault-injection suites (dev)"
+  ./build-dev/tests/zh_tests --gtest_filter="${FAULT_FILTER}" \
+    --gtest_brief=1
+  configure_and_build asan-ubsan
+  log "fault-injection suites (asan-ubsan)"
+  ./build-asan-ubsan/tests/zh_tests --gtest_filter="${FAULT_FILTER}" \
+    --gtest_brief=1
+}
+
 run_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
     log "clang-tidy not found -- skipping lint stage"
@@ -81,9 +101,10 @@ for stage in "${stages[@]}"; do
     dev) run_dev ;;
     asan | asan-ubsan) run_asan ;;
     tsan) run_tsan ;;
+    faults) run_faults ;;
     tidy) run_tidy ;;
     *)
-      echo "unknown stage '${stage}' (expected: dev asan tsan tidy)" >&2
+      echo "unknown stage '${stage}' (expected: dev asan tsan faults tidy)" >&2
       exit 2
       ;;
   esac

@@ -2,9 +2,12 @@
 //
 // Subcommands:
 //   zhist hist <raster> <zones.tsv> [-o hist.csv] [--bins N] [--tile N]
-//       [--stats] [--partitions RxC]
+//       [--stats] [--partitions RxC] [--ranks N] [--fault-plan SPEC]
 //     Zonal histograms of a raster (.zgrid, .asc or .bq) over a WKT-TSV
-//     zone layer; optional classic statistics table; CSV output.
+//     zone layer; optional classic statistics table; CSV output. With
+//     --ranks > 1 the run goes through the fault-tolerant cluster driver;
+//     --fault-plan injects scripted message faults / rank crashes (see
+//     FaultPlan::parse), e.g. "seed=1,drop=0.05,crash=2@partition_done".
 //   zhist encode <raster.zgrid|.asc> <out.bq> [--tile N]
 //     BQ-Tree-compress a raster.
 //   zhist decode <in.bq> <out.zgrid>
@@ -36,7 +39,8 @@ using namespace zh;
   std::fprintf(stderr,
                "usage:\n"
                "  zhist hist <raster> <zones.tsv> [-o hist.csv] "
-               "[--bins N] [--tile N] [--stats] [--partitions RxC]\n"
+               "[--bins N] [--tile N] [--stats] [--partitions RxC] "
+               "[--ranks N] [--fault-plan SPEC]\n"
                "  zhist encode <raster> <out.bq> [--tile N]\n"
                "  zhist decode <in.bq> <out.zgrid>\n"
                "  zhist render <raster> <out.ppm> [--max-edge N]\n"
@@ -59,6 +63,8 @@ struct Args {
   std::int64_t max_edge = 1024;
   double eps = 0.0;
   bool eager = false;
+  std::size_t ranks = 1;
+  std::string fault_plan;
 };
 
 Args parse(int argc, char** argv) {
@@ -95,6 +101,10 @@ Args parse(int argc, char** argv) {
       args.eps = std::stod(next());
     } else if (a == "--eager") {
       args.eager = true;
+    } else if (a == "--ranks") {
+      args.ranks = static_cast<std::size_t>(std::stoull(next()));
+    } else if (a == "--fault-plan") {
+      args.fault_plan = next();
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       usage();
@@ -124,6 +134,58 @@ int cmd_hist(const Args& args) {
                static_cast<long long>(raster.rows()),
                static_cast<long long>(raster.cols()), zones.size(),
                args.bins, static_cast<long long>(args.tile));
+
+  if (args.ranks > 1 || !args.fault_plan.empty()) {
+    ClusterRunConfig cfg;
+    cfg.ranks = args.ranks > 0 ? args.ranks : 1;
+    cfg.zonal = {.tile_size = args.tile, .bins = args.bins};
+    cfg.fault_tolerance.enabled = true;
+    if (!args.fault_plan.empty()) {
+      cfg.fault_tolerance.faults = FaultPlan::parse(args.fault_plan);
+      if (cfg.fault_tolerance.faults.seed == 0) {
+        cfg.fault_tolerance.faults.seed = args.seed;
+      }
+    }
+    // Partition schema: honor --partitions, else one stripe per rank.
+    const int pr =
+        (args.part_rows == 1 && args.part_cols == 1)
+            ? static_cast<int>(cfg.ranks)
+            : args.part_rows;
+    std::vector<DemRaster> rasters;
+    rasters.push_back(raster);
+    const ClusterRunResult cres =
+        run_cluster_zonal(rasters, {{pr, args.part_cols}}, zones, cfg);
+    std::fprintf(stderr, "cluster: %zu ranks, %.2f s wall%s\n", cfg.ranks,
+                 cres.wall_seconds,
+                 cres.degraded ? " [DEGRADED: incomplete partitions]" : "");
+    std::fprintf(stderr, "%-6s %-10s %10s %10s %10s\n", "rank", "state",
+                 "completed", "reassigned", "heartbeats");
+    for (std::size_t r = 0; r < cres.rank_outcomes.size(); ++r) {
+      const RankOutcome& o = cres.rank_outcomes[r];
+      const char* state = o.state == RankState::kCompleted ? "completed"
+                          : o.state == RankState::kCrashed ? "crashed"
+                                                           : "timed-out";
+      std::fprintf(stderr, "%-6zu %-10s %10u %10u %10llu\n", r, state,
+                   o.partitions_completed, o.partitions_reassigned,
+                   static_cast<unsigned long long>(o.heartbeats));
+    }
+    if (!args.out.empty()) {
+      write_histogram_csv(args.out, cres.merged);
+      std::fprintf(stderr, "wrote %s\n", args.out.c_str());
+    }
+    if (args.stats || args.out.empty()) {
+      std::printf("%-16s %12s %7s %7s %10s %10s\n", "zone", "cells", "min",
+                  "max", "mean", "stddev");
+      for (PolygonId z = 0; z < zones.size(); ++z) {
+        const ZonalStats s = stats_from_histogram(cres.merged.of(z));
+        std::printf("%-16s %12llu %7u %7u %10.2f %10.2f\n",
+                    zones.name(z).c_str(),
+                    static_cast<unsigned long long>(s.count), s.min, s.max,
+                    s.mean, s.stddev);
+      }
+    }
+    return cres.degraded ? 1 : 0;
+  }
 
   Device device;
   const ZonalPipeline pipe(device,
@@ -294,8 +356,8 @@ int cmd_catalog(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
-  const Args args = parse(argc, argv);
   try {
+    const Args args = parse(argc, argv);
     if (cmd == "hist") return cmd_hist(args);
     if (cmd == "encode") return cmd_encode(args);
     if (cmd == "decode") return cmd_decode(args);
@@ -306,6 +368,11 @@ int main(int argc, char** argv) {
     if (cmd == "validate") return cmd_validate(args);
     if (cmd == "catalog") return cmd_catalog(args);
   } catch (const zh::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // std::stoul and friends throw std:: exceptions on malformed flag
+    // values; fail with one line instead of std::terminate.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }

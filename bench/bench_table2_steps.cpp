@@ -161,5 +161,18 @@ int main() {
               quadro.seconds[4] / titan.seconds[4],
               quadro.seconds[1] / titan.seconds[1],
               quadro.seconds[0] / titan.seconds[0]);
+
+  // Machine-readable baseline of this run (measured emulation times +
+  // exact full-scale counters), same schema as `zhist --metrics`.
+  std::vector<std::pair<std::string, std::string>> config{
+      {"scale", std::to_string(scale)},
+      {"zones", std::to_string(zones)},
+      {"bins", std::to_string(bins)},
+      {"tile", std::to_string(tile)},
+  };
+  bench::write_bench_report(
+      "BENCH_table2.json", "bench_table2_steps",
+      "six Table-1 CONUS rasters at S=" + std::to_string(scale),
+      std::move(config), &measured, &full);
   return 0;
 }

@@ -12,11 +12,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/pipeline.hpp"
 #include "data/conus.hpp"
 #include "geom/polygon.hpp"
 #include "grid/raster.hpp"
+#include "obs/report.hpp"
 
 namespace zh::bench {
 
@@ -56,6 +59,35 @@ inline void print_header(const std::string& title) {
   print_rule();
   std::printf("%s\n", title.c_str());
   print_rule();
+}
+
+/// Write a zh-run-report-v1 JSON entry describing this bench run (git
+/// sha, config, step times, work counters), so BENCH_*.json files are
+/// self-describing and diffable across revisions. The output path is
+/// `default_path` unless the ZH_BENCH_JSON env var overrides it; setting
+/// ZH_BENCH_JSON=- disables emission.
+inline void write_bench_report(
+    const std::string& default_path, const std::string& tool,
+    const std::string& workload,
+    std::vector<std::pair<std::string, std::string>> config,
+    const StepTimes* times, const WorkCounters* work) {
+  std::string path = default_path;
+  if (const char* env = std::getenv("ZH_BENCH_JSON");
+      env != nullptr && *env != '\0') {
+    path = env;
+  }
+  if (path.empty() || path == "-") return;
+  obs::RunReport report;
+  report.tool = tool;
+  report.workload = workload;
+  report.config = std::move(config);
+  if (times != nullptr) {
+    report.times = *times;
+    report.has_times = true;
+  }
+  if (work != nullptr) append_work_counters(report, *work);
+  obs::write_report_json(path, report);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 /// "12,345,678" formatting for large counts.

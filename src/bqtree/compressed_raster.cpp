@@ -1,11 +1,13 @@
 #include "bqtree/compressed_raster.hpp"
 
 #include "device/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace zh {
 
 BqCompressedRaster BqCompressedRaster::encode(const DemRaster& raster,
                                               std::int64_t tile_size) {
+  ZH_TRACE_SPAN("bqtree.encode", "pipeline");
   BqCompressedRaster out(
       TilingScheme(raster.rows(), raster.cols(), tile_size),
       raster.transform());
@@ -50,6 +52,9 @@ BqCompressedRaster BqCompressedRaster::from_tiles(
 }
 
 DemRaster BqCompressedRaster::decode_all() const {
+  ZH_TRACE_SPAN("step0.decode_all", "pipeline");
+  ZH_COUNTER_ADD("bqtree.bytes_decoded", compressed_bytes());
+  ZH_COUNTER_ADD("bqtree.tiles_decoded", tiling_.tile_count());
   DemRaster raster(tiling_.raster_rows(), tiling_.raster_cols(), transform_);
   const std::size_t n = tiling_.tile_count();
   ThreadPool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "obs/obs.hpp"
 
 namespace zh {
 
@@ -361,6 +362,8 @@ Deadline Communicator::default_deadline() const {
 void Communicator::send_bytes(RankId dst, int tag,
                               std::vector<std::byte> payload) {
   bytes_sent_ += payload.size();
+  ZH_COUNTER_ADD("comm.msgs_sent", 1);
+  ZH_COUNTER_ADD("comm.bytes_sent", payload.size());
   const std::size_t framed = payload.size();
   cluster_->deliver(dst,
                     Message{rank_, tag, /*seq=*/0, framed, std::move(payload)});
@@ -378,6 +381,7 @@ Status Communicator::recv_bytes(RankId src, int tag, Deadline deadline,
   // Early attempts use the truncated backoff schedule and recover lost
   // messages between them; the final attempt waits out the caller's full
   // deadline so a slow-but-healthy sender is never failed prematurely.
+  ZH_TRACE_SPAN("comm.recv", "comm");
   std::int64_t attempt_ms = retry.initial_timeout_ms;
   const std::uint32_t attempts = std::max(retry.max_attempts, 1u);
   for (std::uint32_t attempt = 0; attempt + 1 < attempts; ++attempt) {
@@ -395,7 +399,12 @@ Status Communicator::recv_bytes(RankId src, int tag, Deadline deadline,
                                " tag ", tag, " timed out after ", attempt + 1,
                                " attempt(s)"));
     }
-    cluster_->recover_lost(rank_, src, tag);
+    // Going around again is one retransmission-style retry.
+    ++retries_;
+    ZH_COUNTER_ADD("comm.retries", 1);
+    const std::size_t recovered = cluster_->recover_lost(rank_, src, tag);
+    static_cast<void>(recovered);  // counted only when obs is compiled in
+    ZH_COUNTER_ADD("comm.msgs_recovered", recovered);
     attempt_ms = static_cast<std::int64_t>(
         static_cast<double>(attempt_ms) * retry.backoff);
   }
@@ -412,6 +421,7 @@ std::size_t Communicator::recover_lost(RankId src, int tag) {
 }
 
 Status Communicator::barrier(Deadline deadline) {
+  ZH_TRACE_SPAN("comm.barrier", "comm");
   return cluster_->barrier(deadline);
 }
 
@@ -447,6 +457,9 @@ void run_cluster(std::size_t ranks, const ClusterOptions& options,
   threads.reserve(ranks);
   for (RankId r = 0; r < ranks; ++r) {
     threads.emplace_back([&, r] {
+      // Attribute every span/metric this rank thread records to rank r
+      // (the trace viewer groups rank lanes by this).
+      obs::set_thread_rank(static_cast<std::int32_t>(r));
       Communicator comm = cluster.make_comm(r);
       try {
         body(comm);

@@ -239,6 +239,10 @@ class Communicator {
   /// Bytes this rank has sent so far (communication-volume accounting).
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
 
+  /// Receive retries this rank has performed (backoff re-attempts in the
+  /// Status recv path, including retransmission recovery rounds).
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+
   static constexpr int kGatherTag = -1;
   static constexpr int kReduceTag = -2;
 
@@ -252,6 +256,7 @@ class Communicator {
   Cluster* cluster_;
   RankId rank_;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 /// Launch `ranks` threads, each running body(comm). Returns when all

@@ -3,6 +3,8 @@
 #include <cstdint>
 
 #if defined(__linux__)
+#include <cstdio>
+#include <cstring>
 #include <sys/mman.h>
 #include <unistd.h>
 #endif
@@ -24,6 +26,26 @@ void hint_huge_pages(void* p, std::size_t bytes) {
 #else
   (void)p;
   (void)bytes;
+#endif
+}
+
+std::size_t peak_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long v = 0;
+      if (std::sscanf(line + 6, "%llu", &v) == 1) kib = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+#else
+  return 0;
 #endif
 }
 

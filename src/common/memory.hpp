@@ -17,4 +17,9 @@ void hint_huge_pages(void* p, std::size_t bytes);
 /// start paying off well before this, but small tables don't matter).
 inline constexpr std::size_t kHugePageHintBytes = 64u << 20;  // 64 MiB
 
+/// Peak resident set size of this process in bytes (Linux VmHWM).
+/// Returns 0 where the platform doesn't expose it. The run report
+/// records this as the memory high-water mark of a run.
+std::size_t peak_rss_bytes();
+
 }  // namespace zh

@@ -30,6 +30,33 @@ class Timer {
   Clock::time_point start_;
 };
 
+/// Named breakdown of run time not attributed to Steps 0-4. The paper
+/// folds all of this into its end-to-end vs step-total gap; we name the
+/// three buckets so reports can show where non-step time went.
+struct OverheadTimes {
+  double transfer = 0.0;  ///< host<->device staging / upload modeling
+  double merge = 0.0;     ///< histogram combines (partitions, ranks)
+  double output = 0.0;    ///< result serialization and write-back
+
+  [[nodiscard]] double total() const { return transfer + merge + output; }
+
+  OverheadTimes& operator+=(const OverheadTimes& o) {
+    transfer += o.transfer;
+    merge += o.merge;
+    output += o.output;
+    return *this;
+  }
+
+  /// Element-wise max (cluster wall-clock reduction, like StepTimes).
+  [[nodiscard]] OverheadTimes max_with(const OverheadTimes& o) const {
+    OverheadTimes r = *this;
+    if (o.transfer > r.transfer) r.transfer = o.transfer;
+    if (o.merge > r.merge) r.merge = o.merge;
+    if (o.output > r.output) r.output = o.output;
+    return r;
+  }
+};
+
 /// Per-step wall times of one zonal-histogramming run, in seconds.
 /// Indices match the paper's step numbering:
 ///   0 raster decompression, 1 per-tile histogramming, 2 tile-polygon
@@ -38,8 +65,8 @@ struct StepTimes {
   static constexpr std::size_t kSteps = 5;
   std::array<double, kSteps> seconds{};  // zero-initialized
 
-  /// Extra time not attributed to a step (transfers, output, merge).
-  double overhead = 0.0;
+  /// Extra time not attributed to a step, by named bucket.
+  OverheadTimes overhead;
 
   /// Sum of the five step times (the "Runtimes of steps" row of Table 2).
   [[nodiscard]] double step_total() const {
@@ -49,7 +76,9 @@ struct StepTimes {
   }
 
   /// Wall-clock end-to-end runtime (steps + overhead).
-  [[nodiscard]] double end_to_end() const { return step_total() + overhead; }
+  [[nodiscard]] double end_to_end() const {
+    return step_total() + overhead.total();
+  }
 
   StepTimes& operator+=(const StepTimes& o) {
     for (std::size_t i = 0; i < kSteps; ++i) seconds[i] += o.seconds[i];
@@ -63,7 +92,7 @@ struct StepTimes {
     StepTimes r = *this;
     for (std::size_t i = 0; i < kSteps; ++i)
       if (o.seconds[i] > r.seconds[i]) r.seconds[i] = o.seconds[i];
-    if (o.overhead > r.overhead) r.overhead = o.overhead;
+    r.overhead = r.overhead.max_with(o.overhead);
     return r;
   }
 

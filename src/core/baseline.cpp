@@ -6,6 +6,7 @@
 
 #include "device/thread_pool.hpp"
 #include "geom/pip.hpp"
+#include "obs/obs.hpp"
 
 namespace zh {
 
@@ -54,6 +55,7 @@ HistogramSet zonal_naive(const DemRaster& raster, const PolygonSet& polygons,
                          BinIndex bins) {
   HistogramSet hist(polygons.size(), bins);
   if (raster.cell_count() == 0) return hist;
+  ZH_TRACE_SPAN("baseline.naive", "pipeline");
   ThreadPool::global().parallel_for(
       polygons.size(), [&](std::size_t b, std::size_t e) {
         for (std::size_t i = b; i < e; ++i) {
@@ -69,6 +71,7 @@ HistogramSet zonal_mbb_filter(const DemRaster& raster,
                               const PolygonSet& polygons, BinIndex bins) {
   HistogramSet hist(polygons.size(), bins);
   if (raster.cell_count() == 0) return hist;
+  ZH_TRACE_SPAN("baseline.mbb_filter", "pipeline");
   const GeoBox raster_ext = raster.extent();
   ThreadPool::global().parallel_for(
       polygons.size(), [&](std::size_t b, std::size_t e) {
@@ -87,6 +90,7 @@ HistogramSet zonal_scanline(const DemRaster& raster,
                             const PolygonSet& polygons, BinIndex bins) {
   HistogramSet hist(polygons.size(), bins);
   if (raster.cell_count() == 0) return hist;
+  ZH_TRACE_SPAN("baseline.scanline", "pipeline");
   const GeoTransform& t = raster.transform();
   const GeoBox raster_ext = raster.extent();
   const std::optional<CellValue> nodata = raster.nodata();

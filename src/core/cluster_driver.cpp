@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "core/load_balance.hpp"
+#include "obs/obs.hpp"
 
 namespace zh {
 
@@ -19,6 +20,7 @@ constexpr int kTagHeartbeat = 100;  ///< worker -> master: u32 partition index
 constexpr int kTagResult = 101;  ///< worker -> master: u32 index + histogram
 constexpr int kTagMore = 102;    ///< worker -> master: request for more work
 constexpr int kTagAssign = 103;  ///< master -> worker: u32 list (empty=done)
+constexpr int kTagMetrics = 104;  ///< worker -> master: one RankMetricsRow
 
 std::vector<std::byte> encode_result(std::uint32_t part_index,
                                      std::span<const BinCount> bins) {
@@ -29,7 +31,32 @@ std::vector<std::byte> encode_result(std::uint32_t part_index,
   return bytes;
 }
 
+// Accumulate a completed partition's work into a rank's metrics row.
+void tally_work(RankMetricsRow& row, const WorkCounters& work) {
+  row.cells_histogrammed += work.cells_total;
+  row.pip_cell_tests += work.pip_cell_tests;
+  row.bytes_decoded += work.compressed_bytes;
+}
+
 }  // namespace
+
+std::vector<std::string> rank_metrics_columns() {
+  return {"partitions",     "heartbeats",    "results",
+          "retries",        "comm_bytes",    "cells_histogrammed",
+          "pip_cell_tests", "bytes_decoded", "reported"};
+}
+
+std::vector<std::uint64_t> rank_metrics_values(const RankMetricsRow& row) {
+  return {row.partitions_processed,
+          row.heartbeats_sent,
+          row.results_sent,
+          row.retries,
+          row.comm_bytes_sent,
+          row.cells_histogrammed,
+          row.pip_cell_tests,
+          row.bytes_decoded,
+          row.reported};
+}
 
 ClusterRunResult run_cluster_zonal(
     const std::vector<DemRaster>& rasters,
@@ -38,6 +65,7 @@ ClusterRunResult run_cluster_zonal(
   ZH_REQUIRE(rasters.size() == schemas.size(),
              "one partition schema per raster required");
   ZH_REQUIRE(config.ranks >= 1, "need at least one rank");
+  ZH_TRACE_SPAN("cluster.run_zonal", "cluster");
   const FaultToleranceConfig& ft = config.fault_tolerance;
 
   // Build the global partition list (tile-aligned) and assign owners.
@@ -75,6 +103,7 @@ ClusterRunResult run_cluster_zonal(
   result.per_rank_work.assign(config.ranks, WorkCounters{});
   result.rank_seconds.assign(config.ranks, 0.0);
   result.rank_outcomes.assign(config.ranks, RankOutcome{});
+  result.rank_metrics.assign(config.ranks, RankMetricsRow{});
   std::mutex result_mutex;
   std::atomic<std::uint64_t> comm_bytes{0};
   constexpr RankId kRoot = 0;
@@ -82,6 +111,7 @@ ClusterRunResult run_cluster_zonal(
   const auto compute_partition = [&](ZonalPipeline& pipeline,
                                      ZonalWorkspace& workspace,
                                      std::uint32_t index) {
+    ZH_TRACE_SPAN("cluster.partition", "cluster");
     const RasterPartition& part = parts[index];
     const DemRaster& src = rasters[part.raster_index];
     const DemRaster window = src.copy_window(part.window);
@@ -126,6 +156,18 @@ ClusterRunResult run_cluster_zonal(
           comm.reduce_sum<BinCount>(kRoot, local.flat());
       const double rank_wall = wall.seconds();
 
+      // Per-rank metrics row, gathered into the master's table. Filled
+      // before its own gather so comm_bytes excludes the row's message.
+      RankMetricsRow row;
+      row.partitions_processed = done;
+      row.retries = comm.retries();
+      row.comm_bytes_sent = comm.bytes_sent();
+      tally_work(row, work);
+      row.reported = 1;
+      const std::vector<std::vector<RankMetricsRow>> rows =
+          comm.gather<RankMetricsRow>(
+              kRoot, std::span<const RankMetricsRow>(&row, 1), kTagMetrics);
+
       {
         std::lock_guard lock(result_mutex);
         result.per_rank[me] = times;
@@ -137,6 +179,9 @@ ClusterRunResult run_cluster_zonal(
           result.merged = HistogramSet(polygons.size(), config.zonal.bins);
           std::copy(merged.begin(), merged.end(),
                     result.merged.flat().begin());
+          for (RankId r = 0; r < comm.size(); ++r) {
+            if (rows[r].size() == 1) result.rank_metrics[r] = rows[r][0];
+          }
         }
       }
       comm_bytes.fetch_add(comm.bytes_sent(), std::memory_order_relaxed);
@@ -186,6 +231,7 @@ ClusterRunResult run_cluster_zonal(
     };
 
     if (me != kRoot) {
+      RankMetricsRow row;
       try {
         comm.checkpoint(CrashPoint::kStartup);
         const auto process = [&](std::uint32_t index) {
@@ -193,12 +239,16 @@ ClusterRunResult run_cluster_zonal(
           comm.send<std::uint32_t>(
               kRoot, kTagHeartbeat,
               std::span<const std::uint32_t>(&index, 1));
+          ++row.heartbeats_sent;
           const ZonalResult r =
               compute_partition(pipeline, workspace, index);
           comm.checkpoint(CrashPoint::kPartitionDone);
           comm.send_bytes(kRoot, kTagResult,
                           encode_result(index, r.per_polygon.flat()));
+          ++row.results_sent;
           comm.checkpoint(CrashPoint::kResultSent);
+          ++row.partitions_processed;
+          tally_work(row, r.work);
           flush(r);
         };
         for (std::uint32_t i = 0; i < parts.size(); ++i) {
@@ -213,6 +263,14 @@ ClusterRunResult run_cluster_zonal(
           for (const std::uint32_t index : assigned) process(index);
         }
         comm.checkpoint(CrashPoint::kBeforeFinish);
+        // The metrics row travels after the last crash checkpoint: a
+        // scripted kBeforeFinish crash leaves the row unreported, which
+        // is exactly what the master's table should show.
+        row.retries = comm.retries();
+        row.comm_bytes_sent = comm.bytes_sent();
+        row.reported = 1;
+        comm.send<RankMetricsRow>(
+            kRoot, kTagMetrics, std::span<const RankMetricsRow>(&row, 1));
       } catch (const RankCrash&) {
         rank_crashed[me] = 1;  // sole writer of this element
         throw;
@@ -281,6 +339,11 @@ ClusterRunResult run_cluster_zonal(
         }
       }
       open[r].clear();
+      ZH_COUNTER_ADD("cluster.reassigned_partitions",
+                     outcome[r].partitions_reassigned);
+      if (state == RankState::kTimedOut) {
+        ZH_COUNTER_ADD("cluster.heartbeat_misses", 1);
+      }
       std::stable_sort(orphans.begin(), orphans.end(),
                        [&](std::uint32_t a, std::uint32_t b) {
                          return costs[a] > costs[b];
@@ -406,8 +469,30 @@ ClusterRunResult run_cluster_zonal(
     // ranks never read their mailbox again; the send is harmless.
     for (RankId r = 1; r < comm.size(); ++r) send_done(r);
 
+    // Drain the per-rank metrics rows. Released survivors send theirs
+    // after their last checkpoint; the recv retry path recovers dropped
+    // rows, and a crashed rank fails fast with kRankDead -- its row
+    // stays defaulted (reported == 0).
+    std::vector<RankMetricsRow> rows(comm.size());
+    for (RankId r = 1; r < comm.size(); ++r) {
+      std::vector<RankMetricsRow> got;
+      const Status s =
+          comm.recv<RankMetricsRow>(r, kTagMetrics,
+                                    Deadline::after_ms(ft.worker_timeout_ms),
+                                    got, ft.retry);
+      if (s.is_ok() && got.size() == 1) rows[r] = got[0];
+    }
+
     {
       std::lock_guard lock(result_mutex);
+      rows[kRoot].partitions_processed = outcome[kRoot].partitions_completed;
+      rows[kRoot].retries = comm.retries();
+      rows[kRoot].comm_bytes_sent = comm.bytes_sent();
+      tally_work(rows[kRoot], result.per_rank_work[kRoot]);
+      rows[kRoot].reported = 1;
+      for (RankId r = 0; r < comm.size(); ++r) {
+        result.rank_metrics[r] = rows[r];
+      }
       // Fates are merged with the worker-recorded crash flags after the
       // cluster joins; here only the master-side counters are staged.
       for (RankId r = 0; r < comm.size(); ++r) master_outcome[r] = outcome[r];

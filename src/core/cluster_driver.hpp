@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cluster/comm.hpp"
@@ -82,6 +83,32 @@ struct RankOutcome {
   bool operator==(const RankOutcome&) const = default;
 };
 
+/// Per-rank observability metrics, serialized by each rank at the end of
+/// its run and gathered at the master next to the outcome table. All-u64
+/// and trivially copyable so it travels over the typed send/recv layer
+/// unchanged. A rank that dies before reporting leaves its row defaulted
+/// (reported == 0).
+struct RankMetricsRow {
+  std::uint64_t partitions_processed = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t results_sent = 0;
+  std::uint64_t retries = 0;          ///< recv backoff re-attempts
+  std::uint64_t comm_bytes_sent = 0;  ///< excludes this row's own message
+  std::uint64_t cells_histogrammed = 0;
+  std::uint64_t pip_cell_tests = 0;
+  std::uint64_t bytes_decoded = 0;  ///< BQ-tree compressed bytes consumed
+  std::uint64_t reported = 0;       ///< 1 when the row arrived from the rank
+
+  bool operator==(const RankMetricsRow&) const = default;
+};
+
+/// Column labels of RankMetricsRow in field order (report tables).
+[[nodiscard]] std::vector<std::string> rank_metrics_columns();
+
+/// Flatten one row into the order of rank_metrics_columns().
+[[nodiscard]] std::vector<std::uint64_t> rank_metrics_values(
+    const RankMetricsRow& row);
+
 struct ClusterRunResult {
   HistogramSet merged;                ///< per-polygon histograms (master)
   std::vector<StepTimes> per_rank;    ///< per-rank step breakdowns
@@ -91,6 +118,7 @@ struct ClusterRunResult {
   std::uint64_t comm_bytes = 0;       ///< total bytes sent
   WorkCounters work;                  ///< summed over partitions
   std::vector<RankOutcome> rank_outcomes;  ///< per-rank fate (all modes)
+  std::vector<RankMetricsRow> rank_metrics;  ///< per-rank metrics (all modes)
   /// True when some partitions never completed (their contribution is
   /// missing from `merged`); the indices are listed for coverage reports.
   bool degraded = false;

@@ -5,6 +5,7 @@
 
 #include "core/perf_model.hpp"
 #include "core/step1_tile_hist.hpp"
+#include "obs/obs.hpp"
 #include "core/step2_pairing.hpp"
 #include "core/step3_aggregate.hpp"
 #include "core/step4_refine.hpp"
@@ -72,6 +73,7 @@ HybridResult run_hybrid(Device& primary, Device& secondary,
   const ZonalConfig& zc = config.zonal;
   ZH_REQUIRE(zc.tile_size >= 1, "tile size must be positive");
   ZH_REQUIRE(zc.bins >= 1, "bin count must be positive");
+  ZH_TRACE_SPAN("hybrid.run", "pipeline");
 
   HybridResult result;
   result.per_polygon = HistogramSet(polygons.size(), zc.bins);
@@ -135,23 +137,29 @@ HybridResult run_hybrid(Device& primary, Device& secondary,
     Timer secondary_timer;
     double secondary_s = 0.0;
     std::thread secondary_thread([&] {
+      ZH_TRACE_SPAN("hybrid.refine_secondary", "pipeline");
       rc_secondary =
           refine_boundary_tiles(secondary, tail, soa, raster, tiling,
                                 secondary_hist, zc.refine_granularity);
       secondary_s = secondary_timer.seconds();
     });
     Timer primary_timer;
-    rc_primary =
-        refine_boundary_tiles(primary, head, soa, raster, tiling,
-                              primary_hist, zc.refine_granularity);
+    {
+      ZH_TRACE_SPAN("hybrid.refine_primary", "pipeline");
+      rc_primary =
+          refine_boundary_tiles(primary, head, soa, raster, tiling,
+                                primary_hist, zc.refine_granularity);
+    }
     result.primary_seconds = primary_timer.seconds();
     secondary_thread.join();
     result.secondary_seconds = secondary_s;
   }
   result.times.seconds[4] = timer.seconds();
 
+  Timer merge_timer;
   result.per_polygon.add(primary_hist);
   result.per_polygon.add(secondary_hist);
+  result.times.overhead.merge = merge_timer.seconds();
   result.work.pip_cell_tests =
       rc_primary.cell_tests + rc_secondary.cell_tests;
   result.work.pip_edge_tests =

@@ -8,6 +8,7 @@
 #include "core/step3_aggregate.hpp"
 #include "core/step4_refine.hpp"
 #include "device/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace zh {
 
@@ -16,6 +17,7 @@ ZonalResult run_lazy(Device& device, const BqCompressedRaster& compressed,
                      LazyCounters* counters) {
   ZH_REQUIRE(compressed.tiling().tile_size() == config.tile_size,
              "compressed raster tiling does not match config tile size");
+  ZH_TRACE_SPAN("lazy.run", "pipeline");
   const TilingScheme& tiling = compressed.tiling();
 
   ZonalResult result;
@@ -60,14 +62,18 @@ ZonalResult run_lazy(Device& device, const BqCompressedRaster& compressed,
                    compressed.transform());
   std::atomic<std::uint64_t> decoded_tiles{0};
   std::atomic<std::uint64_t> decoded_cells{0};
+  {
+  ZH_TRACE_SPAN("lazy.decode_demanded", "pipeline");
   ThreadPool::global().parallel_for(
       tiling.tile_count(), [&](std::size_t b, std::size_t e) {
         std::vector<CellValue> cells;
         std::uint64_t tiles = 0;
         std::uint64_t n_cells = 0;
+        std::uint64_t n_bytes = 0;
         for (std::size_t i = b; i < e; ++i) {
           const TileId id = static_cast<TileId>(i);
           if (!needs_decode[id]) continue;
+          n_bytes += compressed.tile(id).compressed_bytes();
           const CellWindow w = tiling.tile_window(id);
           cells.resize(static_cast<std::size_t>(w.cell_count()));
           compressed.decode_tile(id, cells);
@@ -82,8 +88,13 @@ ZonalResult run_lazy(Device& device, const BqCompressedRaster& compressed,
         }
         decoded_tiles.fetch_add(tiles, std::memory_order_relaxed);
         decoded_cells.fetch_add(n_cells, std::memory_order_relaxed);
+        ZH_COUNTER_ADD("bqtree.bytes_decoded", n_bytes);
+        ZH_COUNTER_ADD("bqtree.tiles_decoded", tiles);
       });
+  }
   result.times.seconds[0] = timer.seconds();
+  ZH_COUNTER_ADD("lazy.tiles_decoded", decoded_tiles.load());
+  ZH_COUNTER_ADD("lazy.cells_decoded", decoded_cells.load());
 
   // Step 1 (partial): histograms only for inside tiles, stored compactly
   // (one row per demanded tile, not per tile).

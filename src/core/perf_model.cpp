@@ -59,8 +59,9 @@ StepTimes PerfModel::project(const WorkCounters& work,
   // write output to disks").
   const std::uint64_t upload =
       work.compressed_bytes > 0 ? work.compressed_bytes : work.raw_bytes;
-  t.overhead =
-      static_cast<double>(upload) / (dev.pcie_bandwidth_gbs * 1e9) + 1.0;
+  t.overhead.transfer =
+      static_cast<double>(upload) / (dev.pcie_bandwidth_gbs * 1e9);
+  t.overhead.output = 1.0;
   return t;
 }
 

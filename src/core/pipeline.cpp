@@ -2,8 +2,27 @@
 
 #include "cluster/partition.hpp"
 #include "core/step3_aggregate.hpp"
+#include "obs/obs.hpp"
 
 namespace zh {
+
+void append_work_counters(obs::RunReport& report, const WorkCounters& work) {
+  auto add = [&](const char* name, std::uint64_t v) {
+    report.counters.emplace_back(name, v);
+  };
+  add("cells_total", work.cells_total);
+  add("tiles_total", work.tiles_total);
+  add("candidate_pairs", work.candidate_pairs);
+  add("pairs_inside", work.pairs_inside);
+  add("pairs_intersect", work.pairs_intersect);
+  add("polygon_vertices", work.polygon_vertices);
+  add("aggregate_bin_adds", work.aggregate_bin_adds);
+  add("pip_cell_tests", work.pip_cell_tests);
+  add("pip_edge_tests", work.pip_edge_tests);
+  add("cells_in_polygons", work.cells_in_polygons);
+  add("compressed_bytes", work.compressed_bytes);
+  add("raw_bytes", work.raw_bytes);
+}
 
 WorkCounters& WorkCounters::operator+=(const WorkCounters& o) {
   cells_total += o.cells_total;
@@ -34,6 +53,7 @@ ZonalResult ZonalPipeline::run(const DemRaster& raster,
                                ZonalWorkspace* workspace) const {
   ZH_REQUIRE(soa.polygon_count() == polygons.size(),
              "SoA does not match polygon set");
+  ZH_TRACE_SPAN("pipeline.run", "pipeline");
   ZonalResult result;
   result.per_polygon = HistogramSet(polygons.size(), config_.bins);
   result.work.polygon_vertices = polygons.vertex_count();
@@ -92,6 +112,7 @@ ZonalResult ZonalPipeline::run_partitioned(const DemRaster& raster,
                                            const PolygonSet& polygons,
                                            int part_rows, int part_cols,
                                            ZonalWorkspace* workspace) const {
+  ZH_TRACE_SPAN("pipeline.run_partitioned", "pipeline");
   const PolygonSoA soa = PolygonSoA::build(polygons);
   const std::vector<CellWindow> windows = grid_partition(
       raster.rows(), raster.cols(), part_rows, part_cols,
@@ -105,9 +126,11 @@ ZonalResult ZonalPipeline::run_partitioned(const DemRaster& raster,
   for (const CellWindow& win : windows) {
     const DemRaster part = raster.copy_window(win);
     ZonalResult r = run(part, polygons, soa, &ws);
+    Timer merge_timer;
     merged.per_polygon.add(r.per_polygon);
     merged.times += r.times;
     merged.work += r.work;
+    merged.times.overhead.merge += merge_timer.seconds();
   }
   // Window-level counters that must not sum.
   merged.work.polygon_vertices = polygons.vertex_count();
@@ -120,6 +143,7 @@ ZonalResult ZonalPipeline::run(const BqCompressedRaster& compressed,
                                ZonalWorkspace* workspace) const {
   ZH_REQUIRE(compressed.tiling().tile_size() == config_.tile_size,
              "compressed raster tiling does not match pipeline tile size");
+  ZH_TRACE_SPAN("pipeline.run_compressed", "pipeline");
   Timer timer;
   // Step 0: decode (tiles decoded in parallel; stand-in for the paper's
   // on-device BQ-Tree decoding).

@@ -56,6 +56,14 @@ struct ZonalResult {
   WorkCounters work;
 };
 
+namespace obs {
+struct RunReport;
+}  // namespace obs
+
+/// Flatten `work` into `report.counters` under the canonical names used
+/// by the zh-run-report-v1 schema (cells_total, pairs_inside, ...).
+void append_work_counters(obs::RunReport& report, const WorkCounters& work);
+
 /// Reusable scratch memory across pipeline runs. The per-tile histogram
 /// table is tiles x bins x 4 B -- ~1.4 GB for the largest CONUS raster
 /// at 5000 bins -- and allocating it fresh per run means re-faulting

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "obs/obs.hpp"
 
 namespace zh {
 
@@ -21,6 +22,9 @@ void tile_histograms_into(Device& device, const DemRaster& raster,
   ZH_REQUIRE(tiling.raster_rows() == raster.rows() &&
                  tiling.raster_cols() == raster.cols(),
              "tiling scheme does not match raster dims");
+  ZH_TRACE_SPAN("step1.tile_hist", "pipeline");
+  ZH_COUNTER_ADD("step1.cells_histogrammed", raster.cell_count());
+  ZH_COUNTER_ADD("step1.tiles", tiling.tile_count());
   hist.reset(tiling.tile_count(), bins);
   if (tiling.tile_count() == 0) return;
 

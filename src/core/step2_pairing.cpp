@@ -5,6 +5,7 @@
 #include "common/contracts.hpp"
 #include "device/thread_pool.hpp"
 #include "geom/classify.hpp"
+#include "obs/obs.hpp"
 #include "primitives/primitives.hpp"
 
 namespace zh {
@@ -13,6 +14,7 @@ TilePolygonPairs pair_tiles_with_polygons(const PolygonSet& polygons,
                                           const TilingScheme& tiling,
                                           const GeoTransform& transform) {
   const std::size_t n = polygons.size();
+  ZH_TRACE_SPAN("step2.pair_tiles", "pipeline");
 
   // Per-polygon local buffers, concatenated in polygon order afterwards so
   // the output is deterministic regardless of scheduling.
@@ -23,6 +25,7 @@ TilePolygonPairs pair_tiles_with_polygons(const PolygonSet& polygons,
   std::vector<Local> locals(n);
 
   ThreadPool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
+    std::uint64_t outside = 0;
     for (std::size_t i = b; i < e; ++i) {
       const Polygon& poly = polygons[static_cast<PolygonId>(i)];
       const GeoBox mbr = poly.mbr();
@@ -35,11 +38,15 @@ TilePolygonPairs pair_tiles_with_polygons(const PolygonSet& polygons,
       for (const TileId t : candidates) {
         const TileRelation rel =
             classify_box(poly, mbr, tiling.tile_box(t, transform));
-        if (rel == TileRelation::kOutside) continue;
+        if (rel == TileRelation::kOutside) {
+          ++outside;
+          continue;
+        }
         loc.tiles.push_back(t);
         loc.rels.push_back(rel);
       }
     }
+    ZH_COUNTER_ADD("step2.tiles_outside", outside);
   });
 
   TilePolygonPairs out;
@@ -84,6 +91,7 @@ PolygonTileGroups make_groups(std::span<const PolygonId> pids,
 }  // namespace
 
 PairingResult build_pairing_groups(TilePolygonPairs pairs) {
+  ZH_TRACE_SPAN("step2.group", "pipeline");
   PairingResult result;
   result.candidate_pairs = pairs.size();
   if (pairs.size() == 0) return result;
@@ -126,8 +134,13 @@ PairingResult build_pairing_groups(TilePolygonPairs pairs) {
 PairingResult pair_and_group(const PolygonSet& polygons,
                              const TilingScheme& tiling,
                              const GeoTransform& transform) {
-  return build_pairing_groups(
+  ZH_TRACE_SPAN("step2.pairing", "pipeline");
+  PairingResult result = build_pairing_groups(
       pair_tiles_with_polygons(polygons, tiling, transform));
+  ZH_COUNTER_ADD("step2.pairs_candidate", result.candidate_pairs);
+  ZH_COUNTER_ADD("step2.tiles_inside", result.inside.pair_count());
+  ZH_COUNTER_ADD("step2.tiles_intersect", result.intersect.pair_count());
+  return result;
 }
 
 }  // namespace zh

@@ -1,6 +1,7 @@
 #include "core/step3_aggregate.hpp"
 
 #include "common/contracts.hpp"
+#include "obs/obs.hpp"
 
 namespace zh {
 
@@ -8,6 +9,10 @@ void aggregate_inside_tiles(Device& device, const PolygonTileGroups& inside,
                             const HistogramSet& tile_hist,
                             HistogramSet& polygon_hist) {
   if (inside.group_count() == 0) return;
+  ZH_TRACE_SPAN("step3.aggregate", "pipeline");
+  ZH_COUNTER_ADD("step3.bin_adds",
+                 static_cast<std::uint64_t>(inside.pair_count()) *
+                     tile_hist.bins());
   ZH_REQUIRE(tile_hist.bins() == polygon_hist.bins(),
              "tile/polygon histogram bin counts differ");
   const BinIndex bins = tile_hist.bins();

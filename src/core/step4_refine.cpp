@@ -4,6 +4,7 @@
 
 #include "common/contracts.hpp"
 #include "geom/pip.hpp"
+#include "obs/obs.hpp"
 
 namespace zh {
 
@@ -67,6 +68,7 @@ RefineCounters refine_boundary_tiles(Device& device,
                                      RefineGranularity granularity) {
   RefineCounters counters;
   if (intersect.pair_count() == 0) return counters;
+  ZH_TRACE_SPAN("step4.refine", "pipeline");
 
   RefineCtx ctx{&soa,
                 &raster,
@@ -153,6 +155,9 @@ RefineCounters refine_boundary_tiles(Device& device,
   counters.cell_tests = cell_tests.load();
   counters.edge_tests = edge_tests.load();
   counters.cells_counted = cells_counted.load();
+  ZH_COUNTER_ADD("step4.pip_cell_tests", counters.cell_tests);
+  ZH_COUNTER_ADD("step4.pip_edge_tests", counters.edge_tests);
+  ZH_COUNTER_ADD("step4.cells_counted", counters.cells_counted);
   return counters;
 }
 

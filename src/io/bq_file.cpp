@@ -9,6 +9,7 @@
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace zh {
 
@@ -87,6 +88,7 @@ class CrcReader {
 }  // namespace
 
 void write_bq(const std::string& path, const BqCompressedRaster& raster) {
+  ZH_TRACE_SPAN("io.write_bq", "io");
   std::ofstream os(path, std::ios::binary);
   ZH_REQUIRE_IO(os.is_open(), "cannot open for write: ", path);
   os.write(kMagic.data(), kMagic.size());
@@ -118,6 +120,7 @@ void write_bq(const std::string& path, const BqCompressedRaster& raster) {
 }
 
 BqCompressedRaster read_bq(const std::string& path) {
+  ZH_TRACE_SPAN("io.read_bq", "io");
   std::ifstream is(path, std::ios::binary);
   ZH_REQUIRE_IO(is.is_open(), "cannot open for read: ", path);
   std::error_code ec;

@@ -10,6 +10,7 @@
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace zh {
 
@@ -77,6 +78,7 @@ T read_pod(std::istream& is, const std::string& path) {
 }  // namespace
 
 void write_zgrid(const std::string& path, const DemRaster& raster) {
+  ZH_TRACE_SPAN("io.write_zgrid", "io");
   std::ofstream os(path, std::ios::binary);
   ZH_REQUIRE_IO(os.is_open(), "cannot open for write: ", path);
   os.write(kMagic.data(), kMagic.size());
@@ -103,6 +105,7 @@ void write_zgrid(const std::string& path, const DemRaster& raster) {
 }
 
 DemRaster read_zgrid(const std::string& path) {
+  ZH_TRACE_SPAN("io.read_zgrid", "io");
   std::ifstream is(path, std::ios::binary);
   ZH_REQUIRE_IO(is.is_open(), "cannot open for read: ", path);
   std::error_code ec;

@@ -1,0 +1,10 @@
+// Umbrella header for instrumentation sites: spans (ZH_TRACE_SPAN),
+// metrics (ZH_COUNTER_ADD / ZH_GAUGE_MAX / ZH_STAT_RECORD), and run
+// reports. All macros compile to no-ops when the ZH_OBS CMake option is
+// OFF; with it ON they cost one relaxed atomic load until a run enables
+// tracing/metrics at runtime.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"

@@ -1,0 +1,192 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <set>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace zh::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A thread drops events past this point instead of growing without
+// bound (a runaway trace of a long run must not OOM the process).
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+struct ThreadTraceBuffer;
+
+// Process-global view of all per-thread buffers. Leaked on purpose so
+// threads exiting during static destruction can still retire safely.
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<ThreadTraceBuffer*> live;
+  std::vector<TraceEvent> retired;
+  std::uint32_t next_tid = 1;
+  std::atomic<std::uint64_t> dropped{0};
+  Clock::time_point epoch = Clock::now();
+};
+
+TraceRegistry& registry() {
+  static TraceRegistry* r = new TraceRegistry();
+  return *r;
+}
+
+struct ThreadTraceBuffer {
+  std::mutex mu;  // serializes this thread's appends vs snapshot/clear
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+
+  ThreadTraceBuffer() {
+    TraceRegistry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    tid = r.next_tid++;
+    r.live.push_back(this);
+  }
+
+  ~ThreadTraceBuffer() {
+    TraceRegistry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.retired.insert(r.retired.end(), events.begin(), events.end());
+    std::erase(r.live, this);
+  }
+};
+
+ThreadTraceBuffer& local_buffer() {
+  thread_local ThreadTraceBuffer buffer;
+  return buffer;
+}
+
+thread_local std::int32_t t_rank = -1;
+
+}  // namespace
+
+void set_trace_enabled(bool on) {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_thread_rank(std::int32_t r) { t_rank = r; }
+
+std::int32_t thread_rank() { return t_rank; }
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               registry().epoch)
+      .count();
+}
+
+void record_span(const char* name, const char* cat, std::int64_t ts_us,
+                 std::int64_t dur_us) {
+  ThreadTraceBuffer& b = local_buffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  if (b.events.size() >= kMaxEventsPerThread) {
+    registry().dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  b.events.push_back(TraceEvent{name, cat, ts_us, dur_us, b.tid, t_rank});
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+  TraceRegistry& r = registry();
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    out = r.retired;
+    for (ThreadTraceBuffer* b : r.live) {
+      std::lock_guard<std::mutex> blk(b->mu);
+      out.insert(out.end(), b->events.begin(), b->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return out;
+}
+
+void trace_clear() {
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.retired.clear();
+  for (ThreadTraceBuffer* b : r.live) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    b->events.clear();
+  }
+  r.dropped.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_dropped() {
+  return registry().dropped.load(std::memory_order_relaxed);
+}
+
+std::string chrome_trace_json() {
+  const std::vector<TraceEvent> events = trace_snapshot();
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"traceEvents\":[";
+  // Name trace "processes": pid 0 is the host process, pid r+1 is
+  // cluster rank r (pid 0 is reserved so rank 0 gets its own lane).
+  std::set<std::int32_t> pids;
+  for (const TraceEvent& e : events) pids.insert(e.rank < 0 ? 0 : e.rank + 1);
+  bool first = true;
+  for (std::int32_t pid : pids) {
+    if (!first) out += ",";
+    first = false;
+    char buf[128];
+    if (pid == 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+                    "\"args\":{\"name\":\"host\"}}");
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                    "\"args\":{\"name\":\"rank %d\"}}",
+                    pid, pid - 1);
+    }
+    out += buf;
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    const std::int32_t pid = e.rank < 0 ? 0 : e.rank + 1;
+    out += "{\"name\":\"";
+    out += json_escape(e.name);
+    out += "\",\"cat\":\"";
+    out += json_escape(e.cat);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(e.ts_us);
+    out += ",\"dur\":";
+    out += std::to_string(e.dur_us);
+    out += ",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":";
+    out += std::to_string(e.tid);
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"zonalhist\","
+         "\"dropped_events\":";
+  out += std::to_string(trace_dropped());
+  out += "}}";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ZH_REQUIRE_IO(out.good(), "cannot open trace file for writing: ", path);
+  const std::string json = chrome_trace_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.flush();
+  ZH_REQUIRE_IO(out.good(), "failed writing trace file: ", path);
+}
+
+}  // namespace zh::obs

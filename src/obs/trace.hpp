@@ -1,0 +1,127 @@
+// Scoped trace spans with thread/rank attribution, exported as Chrome
+// trace_event JSON (chrome://tracing / Perfetto loadable).
+//
+// Design goals, in order:
+//  1. near-zero cost when disabled: Span's constructor is one relaxed
+//     atomic load; the ZH_TRACE_SPAN macro compiles away entirely when
+//     the ZH_OBS CMake option is OFF;
+//  2. no cross-thread contention when enabled: each thread appends to
+//     its own buffer; the only lock taken on the hot path is that
+//     thread's private mutex, contended only by a snapshot/clear in
+//     flight (rare);
+//  3. events survive thread exit: per-thread buffers retire into a
+//     process-global list so spans recorded by short-lived cluster rank
+//     threads and pool workers still appear in the export.
+//
+// Timestamps are microseconds on the steady clock relative to a
+// process-wide epoch, which is what the trace_event "ts" field wants.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zh::obs {
+
+namespace detail {
+// Storage lives in trace.cpp; exposed so the enabled-check inlines to
+// one relaxed load at every instrumentation site.
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// Whether span recording is on. Off by default; flipping it on is what
+/// `zhist --trace` and the tests do.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turn span recording on/off (process-wide).
+void set_trace_enabled(bool on);
+
+/// Attribute spans recorded by the calling thread to cluster rank `r`
+/// (-1 = not a rank thread; exported with pid 0). run_cluster tags each
+/// rank thread so a trace of a cluster run groups by rank in the viewer.
+void set_thread_rank(std::int32_t r);
+
+/// The calling thread's rank attribution (-1 when unset).
+[[nodiscard]] std::int32_t thread_rank();
+
+/// Microseconds since the process trace epoch (steady clock).
+[[nodiscard]] std::int64_t now_us();
+
+/// One completed span ("X" event in trace_event terms).
+struct TraceEvent {
+  const char* name = "";  ///< static-storage string (macro call sites)
+  const char* cat = "";   ///< taxonomy bucket, e.g. "pipeline", "comm"
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+  std::uint32_t tid = 0;     ///< stable per-thread id (registration order)
+  std::int32_t rank = -1;    ///< cluster rank, -1 for the host process
+};
+
+/// Record a completed span for the calling thread. Instrumentation
+/// normally goes through the Span RAII type / ZH_TRACE_SPAN macro; this
+/// is the primitive they bottom out in (and what tests call directly).
+void record_span(const char* name, const char* cat, std::int64_t ts_us,
+                 std::int64_t dur_us);
+
+/// RAII span: times construction-to-destruction and records it if
+/// tracing was enabled at construction. `name` and `cat` must outlive
+/// the program (string literals).
+class Span {
+ public:
+  Span(const char* name, const char* cat) : name_(name), cat_(cat) {
+    start_us_ = trace_enabled() ? now_us() : kDisabled;
+  }
+  ~Span() {
+    if (start_us_ != kDisabled) {
+      record_span(name_, cat_, start_us_, now_us() - start_us_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  static constexpr std::int64_t kDisabled = -1;
+  const char* name_;
+  const char* cat_;
+  std::int64_t start_us_;
+};
+
+/// Copy out every recorded event (live buffers + retired threads),
+/// sorted by start time.
+[[nodiscard]] std::vector<TraceEvent> trace_snapshot();
+
+/// Drop all recorded events (live and retired). Does not change the
+/// enabled flag.
+void trace_clear();
+
+/// Events dropped because a thread hit its buffer cap (export notes
+/// this so a truncated trace is never mistaken for a complete one).
+[[nodiscard]] std::uint64_t trace_dropped();
+
+/// Serialize the current snapshot as Chrome trace_event JSON.
+[[nodiscard]] std::string chrome_trace_json();
+
+/// Write chrome_trace_json() to `path`. Throws IoError when the path is
+/// not writable or the write fails.
+void write_chrome_trace(const std::string& path);
+
+}  // namespace zh::obs
+
+// Instrumentation macros. When the ZH_OBS CMake option is OFF these
+// compile to nothing, so hot loops carry no trace code at all; when ON
+// they cost one relaxed load while tracing is disabled at runtime.
+#if defined(ZH_ENABLE_OBS)
+#define ZH_OBS_CAT2_(a, b) a##b
+#define ZH_OBS_CAT_(a, b) ZH_OBS_CAT2_(a, b)
+/// Open a scoped span named `name` in category `cat` covering the rest
+/// of the enclosing block.
+#define ZH_TRACE_SPAN(name, cat) \
+  ::zh::obs::Span ZH_OBS_CAT_(zh_obs_span_, __LINE__)(name, cat)
+#else
+#define ZH_TRACE_SPAN(name, cat) \
+  do {                           \
+  } while (false)
+#endif

@@ -1,5 +1,7 @@
 #include "quadtree/qt_step1.hpp"
 
+#include "obs/obs.hpp"
+
 namespace zh {
 
 HistogramSet tile_histograms_from_quadtree(Device& device,
@@ -11,6 +13,8 @@ HistogramSet tile_histograms_from_quadtree(Device& device,
              "tiling scheme does not match quadtree dims");
   HistogramSet hist(tiling.tile_count(), bins);
   if (tiling.tile_count() == 0) return hist;
+  ZH_TRACE_SPAN("quadtree.step1", "pipeline");
+  ZH_COUNTER_ADD("quadtree.step1_tiles", tiling.tile_count());
   BinCount* out = hist.flat().data();
 
   device.launch_named(

@@ -57,6 +57,7 @@
 #include "io/render.hpp"                   // IWYU pragma: export
 #include "io/vector_io.hpp"                // IWYU pragma: export
 #include "io/zgrid.hpp"                    // IWYU pragma: export
+#include "obs/obs.hpp"                     // IWYU pragma: export
 #include "primitives/primitives.hpp"       // IWYU pragma: export
 #include "quadtree/qt_step1.hpp"           // IWYU pragma: export
 #include "quadtree/region_quadtree.hpp"    // IWYU pragma: export

@@ -242,5 +242,83 @@ TEST(ClusterRecovery, StaticModeFillsOutcomeTable) {
   }
 }
 
+std::uint64_t metrics_partition_total(const ClusterRunResult& r) {
+  std::uint64_t sum = 0;
+  for (const RankMetricsRow& row : r.rank_metrics) {
+    sum += row.partitions_processed;
+  }
+  return sum;
+}
+
+TEST(ClusterRecovery, StaticModeGathersRankMetrics) {
+  const Scenario sc;
+  const ClusterRunResult r =
+      run_cluster_zonal(sc.rasters, sc.schemas, sc.zones, sc.config(2));
+  ASSERT_EQ(r.rank_metrics.size(), 2u);
+  EXPECT_EQ(metrics_partition_total(r), 4u);
+  for (const RankMetricsRow& row : r.rank_metrics) {
+    EXPECT_EQ(row.reported, 1u);
+    EXPECT_GT(row.cells_histogrammed, 0u);
+  }
+  // The worker sent its histograms to the root, so its byte counter is
+  // nonzero; the root's sends (partition metadata) are counted too.
+  EXPECT_GT(r.rank_metrics[1].comm_bytes_sent, 0u);
+  // Flattening helpers agree with the column schema.
+  const std::vector<std::string> cols = rank_metrics_columns();
+  EXPECT_EQ(rank_metrics_values(r.rank_metrics[0]).size(), cols.size());
+}
+
+TEST(ClusterRecovery, CrashedRankLeavesMetricsRowUnreported) {
+  // A rank that dies before the final metrics send must show up as an
+  // all-defaults row with reported == 0 -- never a hang, never a stale
+  // row -- while the run itself still recovers to the exact answer.
+  const Scenario sc;
+  const HistogramSet expect = sc.reference();
+
+  ClusterRunConfig cfg = sc.config(3);
+  cfg.fault_tolerance.enabled = true;
+  cfg.fault_tolerance.worker_timeout_ms = 10000;
+  cfg.fault_tolerance.faults.crash = {1, CrashPoint::kBeforeFinish, 0};
+
+  const ClusterRunResult r =
+      run_cluster_zonal(sc.rasters, sc.schemas, sc.zones, cfg);
+  EXPECT_EQ(r.merged, expect);
+  ASSERT_EQ(r.rank_metrics.size(), 3u);
+  EXPECT_EQ(r.rank_metrics[1].reported, 0u);
+  EXPECT_EQ(r.rank_metrics[1], RankMetricsRow{});
+  EXPECT_EQ(r.rank_metrics[0].reported, 1u);
+  EXPECT_EQ(r.rank_metrics[2].reported, 1u);
+  // The dead rank's work reached the master (it crashed after sending
+  // results), so the surviving rows still cover all four partitions.
+  EXPECT_EQ(metrics_partition_total(r) +
+                r.rank_outcomes[1].partitions_completed,
+            4u);
+}
+
+TEST(ClusterRecovery, MetricsRowsSurviveDropAndDuplicateStorm) {
+  const Scenario sc;
+  const HistogramSet expect = sc.reference();
+
+  ClusterRunConfig cfg = sc.config(3);
+  cfg.fault_tolerance.enabled = true;
+  cfg.fault_tolerance.worker_timeout_ms = 10000;
+  cfg.fault_tolerance.faults.seed = 11;
+  cfg.fault_tolerance.faults.drop_prob = 0.2;
+  cfg.fault_tolerance.faults.duplicate_prob = 0.2;
+
+  const ClusterRunResult r =
+      run_cluster_zonal(sc.rasters, sc.schemas, sc.zones, cfg);
+  EXPECT_EQ(r.merged, expect);
+  ASSERT_EQ(r.rank_metrics.size(), 3u);
+  std::uint64_t results = 0;
+  for (const RankMetricsRow& row : r.rank_metrics) {
+    EXPECT_EQ(row.reported, 1u);  // dropped rows are re-requested
+    results += row.results_sent;
+  }
+  EXPECT_EQ(metrics_partition_total(r), 4u);
+  EXPECT_GE(results, metrics_partition_total(r) -
+                         r.rank_metrics[0].partitions_processed);
+}
+
 }  // namespace
 }  // namespace zh

@@ -67,33 +67,46 @@ TEST(Timer, MillisConsistentWithSeconds) {
 TEST(StepTimes, TotalsAndAccumulate) {
   StepTimes a;
   a.seconds = {1.0, 2.0, 0.5, 0.25, 4.0};
-  a.overhead = 0.25;
+  a.overhead.transfer = 0.1;
+  a.overhead.merge = 0.05;
+  a.overhead.output = 0.1;
   EXPECT_DOUBLE_EQ(a.step_total(), 7.75);
+  EXPECT_DOUBLE_EQ(a.overhead.total(), 0.25);
   EXPECT_DOUBLE_EQ(a.end_to_end(), 8.0);
 
   StepTimes b;
   b.seconds = {0.5, 0.5, 0.5, 0.5, 0.5};
-  b.overhead = 0.5;
+  b.overhead.transfer = 0.25;
+  b.overhead.output = 0.25;
   a += b;
   EXPECT_DOUBLE_EQ(a.seconds[0], 1.5);
   EXPECT_DOUBLE_EQ(a.seconds[4], 4.5);
-  EXPECT_DOUBLE_EQ(a.overhead, 0.75);
+  EXPECT_DOUBLE_EQ(a.overhead.transfer, 0.35);
+  EXPECT_DOUBLE_EQ(a.overhead.merge, 0.05);
+  EXPECT_DOUBLE_EQ(a.overhead.output, 0.35);
+  EXPECT_DOUBLE_EQ(a.overhead.total(), 0.75);
 }
 
 TEST(StepTimes, MaxWithIsElementwise) {
   StepTimes a;
   a.seconds = {1, 5, 1, 5, 1};
-  a.overhead = 2;
+  a.overhead.transfer = 2;
+  a.overhead.merge = 1;
   StepTimes b;
   b.seconds = {2, 4, 2, 4, 2};
-  b.overhead = 1;
+  b.overhead.transfer = 1;
+  b.overhead.merge = 3;
+  b.overhead.output = 0.5;
   const StepTimes m = a.max_with(b);
   EXPECT_DOUBLE_EQ(m.seconds[0], 2);
   EXPECT_DOUBLE_EQ(m.seconds[1], 5);
   EXPECT_DOUBLE_EQ(m.seconds[2], 2);
   EXPECT_DOUBLE_EQ(m.seconds[3], 5);
   EXPECT_DOUBLE_EQ(m.seconds[4], 2);
-  EXPECT_DOUBLE_EQ(m.overhead, 2);
+  // Overhead buckets reduce element-wise too, not as a lump.
+  EXPECT_DOUBLE_EQ(m.overhead.transfer, 2);
+  EXPECT_DOUBLE_EQ(m.overhead.merge, 3);
+  EXPECT_DOUBLE_EQ(m.overhead.output, 0.5);
 }
 
 TEST(StepTimes, StepNamesMatchTable2Rows) {

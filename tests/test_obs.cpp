@@ -1,0 +1,309 @@
+// Observability layer: trace round-trips through Chrome trace_event
+// JSON, the metrics registry stays exact (and race-free -- this suite is
+// in the TSan matrix) under ThreadPool stress, run reports are
+// schema-valid, and unwritable output paths fail with IoError. The
+// direct obs:: API is exercised in both ZH_OBS build flavors; the macro
+// tests assert recording when the option is ON and no-op behavior when
+// it is OFF.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.hpp"
+#include "device/thread_pool.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace zh {
+namespace {
+
+// Every test leaves the global flags off and the buffers clear so suite
+// order never matters.
+struct ObsGuard {
+  ObsGuard() {
+    obs::set_trace_enabled(false);
+    obs::set_metrics_enabled(false);
+    obs::trace_clear();
+    obs::metrics_reset();
+  }
+  ~ObsGuard() {
+    obs::set_trace_enabled(false);
+    obs::set_metrics_enabled(false);
+    obs::trace_clear();
+    obs::metrics_reset();
+  }
+};
+
+const obs::MetricRecord* find_metric(
+    const std::vector<obs::MetricRecord>& all, const std::string& name) {
+  for (const obs::MetricRecord& m : all) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+TEST(ObsTrace, SpanRoundTripsThroughChromeJson) {
+  ObsGuard guard;
+  obs::set_trace_enabled(true);
+  {
+    obs::Span span("unit.outer", "test");
+    obs::record_span("unit.manual", "test", 10, 5);
+  }
+  const std::string json = obs::chrome_trace_json();
+  const obs::JsonValue doc = obs::parse_json(json);
+  const obs::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  bool saw_outer = false;
+  bool saw_manual = false;
+  bool saw_process_meta = false;
+  for (const obs::JsonValue& e : events->arr) {
+    const obs::JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "M") {
+      saw_process_meta = true;
+      continue;
+    }
+    ASSERT_EQ(ph->str, "X");
+    const obs::JsonValue* name = e.find("name");
+    ASSERT_NE(name, nullptr);
+    ASSERT_TRUE(e.find("ts") != nullptr && e.find("ts")->is_number());
+    ASSERT_TRUE(e.find("dur") != nullptr && e.find("dur")->is_number());
+    ASSERT_TRUE(e.find("pid") != nullptr && e.find("tid") != nullptr);
+    if (name->str == "unit.outer") saw_outer = true;
+    if (name->str == "unit.manual") {
+      saw_manual = true;
+      EXPECT_EQ(e.find("ts")->number, 10.0);
+      EXPECT_EQ(e.find("dur")->number, 5.0);
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_manual);
+  EXPECT_TRUE(saw_process_meta);
+}
+
+TEST(ObsTrace, DisabledSpansRecordNothing) {
+  ObsGuard guard;
+  { obs::Span span("unit.off", "test"); }
+  EXPECT_TRUE(obs::trace_snapshot().empty());
+}
+
+TEST(ObsTrace, EventsSurviveThreadExit) {
+  ObsGuard guard;
+  obs::set_trace_enabled(true);
+  std::thread worker([] {
+    obs::set_thread_rank(3);
+    obs::record_span("unit.rank_thread", "test", 0, 1);
+  });
+  worker.join();
+  const std::vector<obs::TraceEvent> events = obs::trace_snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit.rank_thread");
+  EXPECT_EQ(events[0].rank, 3);
+}
+
+TEST(ObsJson, ParserRejectsMalformedInput) {
+  EXPECT_THROW((void)obs::parse_json("{"), IoError);
+  EXPECT_THROW((void)obs::parse_json("[1,]"), IoError);
+  EXPECT_THROW((void)obs::parse_json("{} trailing"), IoError);
+  EXPECT_THROW((void)obs::parse_json("\"bad\\q\""), IoError);
+  std::string deep;
+  for (int i = 0; i < 80; ++i) deep += '[';
+  EXPECT_THROW((void)obs::parse_json(deep), IoError);
+}
+
+TEST(ObsJson, EscapedStringsRoundTrip) {
+  const std::string raw = "a\"b\\c\nd\te\x01f";
+  const obs::JsonValue doc =
+      obs::parse_json("\"" + obs::json_escape(raw) + "\"");
+  ASSERT_TRUE(doc.is_string());
+  EXPECT_EQ(doc.str, raw);
+}
+
+TEST(ObsMetrics, CounterGaugeStatMergeAcrossThreads) {
+  ObsGuard guard;
+  const obs::MetricId c =
+      obs::metric_id("test.merge.count", obs::MetricKind::kCounter);
+  const obs::MetricId g =
+      obs::metric_id("test.merge.gauge", obs::MetricKind::kGauge);
+  const obs::MetricId s =
+      obs::metric_id("test.merge.stat", obs::MetricKind::kStat);
+  std::thread a([&] {
+    obs::counter_add(c, 2);
+    obs::gauge_max(g, 10);
+    obs::stat_record(s, 1.0);
+  });
+  std::thread b([&] {
+    obs::counter_add(c, 3);
+    obs::gauge_max(g, 7);
+    obs::stat_record(s, 5.0);
+  });
+  a.join();
+  b.join();
+  const auto all = obs::metrics_snapshot();
+  const obs::MetricRecord* count = find_metric(all, "test.merge.count");
+  const obs::MetricRecord* gauge = find_metric(all, "test.merge.gauge");
+  const obs::MetricRecord* stat = find_metric(all, "test.merge.stat");
+  ASSERT_NE(count, nullptr);
+  ASSERT_NE(gauge, nullptr);
+  ASSERT_NE(stat, nullptr);
+  EXPECT_EQ(count->value, 5u);
+  EXPECT_EQ(gauge->value, 10u);
+  EXPECT_EQ(stat->count, 2u);
+  EXPECT_DOUBLE_EQ(stat->sum, 6.0);
+  EXPECT_DOUBLE_EQ(stat->min, 1.0);
+  EXPECT_DOUBLE_EQ(stat->max, 5.0);
+}
+
+TEST(ObsMetrics, ReinterningWithDifferentKindThrows) {
+  (void)obs::metric_id("test.kind.fixed", obs::MetricKind::kCounter);
+  EXPECT_EQ(obs::metric_id("test.kind.fixed", obs::MetricKind::kCounter),
+            obs::metric_id("test.kind.fixed", obs::MetricKind::kCounter));
+  EXPECT_THROW(
+      (void)obs::metric_id("test.kind.fixed", obs::MetricKind::kGauge),
+      InvalidArgument);
+}
+
+TEST(ObsMetricsStress, ShardedUpdatesUnderThreadPoolAreExact) {
+  ObsGuard guard;
+  const obs::MetricId c =
+      obs::metric_id("test.stress.count", obs::MetricKind::kCounter);
+  const obs::MetricId g =
+      obs::metric_id("test.stress.gauge", obs::MetricKind::kGauge);
+  const obs::MetricId s =
+      obs::metric_id("test.stress.stat", obs::MetricKind::kStat);
+
+  // Snapshots race against updates on purpose: the registry must merge
+  // a consistent view while shards are hot (TSan checks the ordering).
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)obs::metrics_snapshot();
+    }
+  });
+
+  constexpr std::size_t kN = 70000;  // multiple of 7 (stat sum below)
+  {
+    ThreadPool pool(4);
+    pool.parallel_for(kN, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        obs::counter_add(c, 1);
+        obs::gauge_max(g, i);
+        obs::stat_record(s, static_cast<double>(i % 7));
+      }
+    });
+  }  // pool workers join and their shards retire into the registry
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  const auto all = obs::metrics_snapshot();
+  const obs::MetricRecord* count = find_metric(all, "test.stress.count");
+  const obs::MetricRecord* gauge = find_metric(all, "test.stress.gauge");
+  const obs::MetricRecord* stat = find_metric(all, "test.stress.stat");
+  ASSERT_NE(count, nullptr);
+  ASSERT_NE(gauge, nullptr);
+  ASSERT_NE(stat, nullptr);
+  EXPECT_EQ(count->value, kN);
+  EXPECT_EQ(gauge->value, kN - 1);
+  EXPECT_EQ(stat->count, kN);
+  EXPECT_DOUBLE_EQ(stat->sum, (kN / 7) * 21.0);  // sum of i%7 per block of 7
+  EXPECT_DOUBLE_EQ(stat->min, 0.0);
+  EXPECT_DOUBLE_EQ(stat->max, 6.0);
+}
+
+TEST(ObsMacros, KillSwitchMatchesBuildFlavor) {
+  ObsGuard guard;
+#if defined(ZH_ENABLE_OBS)
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+  ZH_COUNTER_ADD("test.macro.counter", 3);
+  { ZH_TRACE_SPAN("test.macro.span", "test"); }
+  const auto all = obs::metrics_snapshot();
+  const obs::MetricRecord* m = find_metric(all, "test.macro.counter");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->value, 3u);
+  const std::vector<obs::TraceEvent> events = obs::trace_snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.macro.span");
+#else
+  // ZH_OBS=OFF: the macros are no-ops even with recording force-enabled
+  // -- nothing is interned, nothing is recorded.
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+  ZH_COUNTER_ADD("test.macro.counter", 3);
+  { ZH_TRACE_SPAN("test.macro.span", "test"); }
+  EXPECT_EQ(find_metric(obs::metrics_snapshot(), "test.macro.counter"),
+            nullptr);
+  EXPECT_TRUE(obs::trace_snapshot().empty());
+#endif
+}
+
+TEST(ObsReport, JsonIsSchemaValid) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  ZH_COUNTER_ADD("test.report.metric", 4);
+
+  obs::RunReport report;
+  report.tool = "unit-test";
+  report.workload = "synthetic";
+  report.config = {{"tile", "16"}, {"bins", "8"}};
+  report.times.seconds = {1.0, 2.0, 0.5, 0.25, 4.0};
+  report.times.overhead.transfer = 0.125;
+  report.times.overhead.merge = 0.0625;
+  report.times.overhead.output = 0.03125;
+  report.has_times = true;
+  report.counters = {{"cells_total", 123u}};
+  report.rank_columns = {"partitions", "reported"};
+  report.rank_rows = {{2, 1}, {0, 0}};
+  report.rank_states = {"completed", "crashed"};
+
+  const obs::JsonValue doc = obs::parse_json(obs::report_json(report));
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->str, "zh-run-report-v1");
+  EXPECT_EQ(doc.find("tool")->str, "unit-test");
+  EXPECT_FALSE(doc.find("git_sha")->str.empty());
+
+  const obs::JsonValue* times = doc.find("times_s");
+  ASSERT_NE(times, nullptr);
+  EXPECT_DOUBLE_EQ(times->find("step4")->number, 4.0);
+  EXPECT_DOUBLE_EQ(times->find("overhead_transfer")->number, 0.125);
+  EXPECT_DOUBLE_EQ(times->find("overhead_merge")->number, 0.0625);
+  EXPECT_DOUBLE_EQ(times->find("overhead_output")->number, 0.03125);
+  EXPECT_DOUBLE_EQ(times->find("step_total")->number, 7.75);
+
+  const obs::JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("cells_total")->number, 123.0);
+
+  const obs::JsonValue* ranks = doc.find("ranks");
+  ASSERT_NE(ranks, nullptr);
+  ASSERT_EQ(ranks->find("rows")->arr.size(), 2u);
+  EXPECT_EQ(ranks->find("rows")->arr[0].arr.size(),
+            ranks->find("columns")->arr.size());
+  EXPECT_EQ(ranks->find("states")->arr[1].str, "crashed");
+
+#if defined(ZH_ENABLE_OBS)
+  const obs::JsonValue* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const obs::JsonValue* metric = metrics->find("test.report.metric");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_DOUBLE_EQ(metric->find("value")->number, 4.0);
+#endif
+}
+
+TEST(ObsReport, UnwritablePathFailsWithIoError) {
+  ObsGuard guard;
+  obs::RunReport report;
+  report.tool = "unit-test";
+  EXPECT_THROW(
+      obs::write_report_json("/nonexistent-zh-dir/report.json", report),
+      IoError);
+  EXPECT_THROW(obs::write_chrome_trace("/nonexistent-zh-dir/trace.json"),
+               IoError);
+}
+
+}  // namespace
+}  // namespace zh

@@ -82,7 +82,7 @@ TEST(PerfModel, DecodeStepOnlyChargedForCompressedInput) {
   w.compressed_bytes = 0;
   const StepTimes t = model.project(w, DeviceProfile::gtx_titan());
   EXPECT_DOUBLE_EQ(t.seconds[0], 0.0);
-  EXPECT_GT(t.overhead, 0.0);  // raw upload still modeled
+  EXPECT_GT(t.overhead.transfer, 0.0);  // raw upload still modeled
 }
 
 TEST(PerfModel, OverheadUsesCompressedUploadWhenAvailable) {
@@ -93,9 +93,11 @@ TEST(PerfModel, OverheadUsesCompressedUploadWhenAvailable) {
   const StepTimes raw = model.project(w, DeviceProfile::gtx_titan());
   // 7.3 GB vs 40 GB at 2.5 GB/s: compression shrinks the upload time --
   // the Sec. IV.B argument for BQ-Tree despite its decode cost.
-  EXPECT_LT(comp.overhead, raw.overhead);
-  EXPECT_NEAR(raw.overhead - comp.overhead,
+  EXPECT_LT(comp.overhead.transfer, raw.overhead.transfer);
+  EXPECT_NEAR(raw.overhead.transfer - comp.overhead.transfer,
               (40.0 - 7.3) / 2.5, 0.2);
+  // The fixed output allowance is transfer-independent.
+  EXPECT_DOUBLE_EQ(comp.overhead.output, raw.overhead.output);
 }
 
 TEST(PerfModel, UnknownDeviceFallsBackToThroughputRatio) {

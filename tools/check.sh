@@ -2,11 +2,12 @@
 # Correctness-check driver: runs the warning-clean build, the sanitizer
 # matrix and the clang-tidy pass locally or in CI.
 #
-#   tools/check.sh              # full matrix: dev, asan-ubsan, tsan, tidy
+#   tools/check.sh              # full matrix: dev, asan-ubsan, tsan, obs, tidy
 #   tools/check.sh dev          # RelWithDebInfo + -Werror + full ctest
 #   tools/check.sh asan         # Debug + ASan/UBSan + full ctest
 #   tools/check.sh tsan         # Debug + TSan + concurrency test suites
 #   tools/check.sh faults       # fault-injection suites (dev + asan-ubsan)
+#   tools/check.sh obs          # trace/metrics end-to-end + ZH_OBS=OFF build
 #   tools/check.sh tidy         # clang-tidy over src/ (needs clang-tidy)
 #
 # Each stage configures its own build tree (build-dev, build-asan-ubsan,
@@ -23,7 +24,7 @@ CTEST_PARALLEL="${CTEST_PARALLEL:-${JOBS}}"
 # Concurrency suites exercised under TSan: ThreadPool + device emulation,
 # thrust-analog primitives, the MPI-like cluster layer (including the
 # fault-injection and timeout/heartbeat paths), and the stress mix.
-TSAN_FILTER='*ThreadPool*:*Primitive*:*Comm*:*Partition*:*Cluster*:*Stress*:*Device*:*Fault*'
+TSAN_FILTER='*ThreadPool*:*Primitive*:*Comm*:*Partition*:*Cluster*:*Stress*:*Device*:*Fault*:*Obs*'
 
 # Fault-tolerance suites: deterministic fault injection, timeout/retry,
 # straggler recovery, corruption-detecting I/O, and the parser corpus.
@@ -73,6 +74,60 @@ run_faults() {
     --gtest_brief=1
 }
 
+run_obs() {
+  # End-to-end observability gate: a traced+metered run must produce
+  # schema-valid outputs whose spans cover the run, the per-rank metrics
+  # table must survive fault injection, and the kill-switch build
+  # (ZH_OBS=OFF, every span/counter a no-op) must stay warning-clean and
+  # within ZH_OBS_TOL_PCT percent of the instrumented build's runtime.
+  configure_and_build dev
+  local tmp="build-dev/obs-check"
+  rm -rf "${tmp}" && mkdir -p "${tmp}"
+
+  log "end-to-end trace + metrics + report (dev)"
+  ./build-dev/tools/zhist synth "${tmp}/dem.zgrid" --rows 600 --cols 600
+  ./build-dev/tools/zhist zones "${tmp}/zones.tsv" --zones 40
+  ./build-dev/tools/zhist hist "${tmp}/dem.zgrid" "${tmp}/zones.tsv" \
+    -o "${tmp}/hist.csv" --bins 256 --report \
+    --trace "${tmp}/run.trace.json" --metrics "${tmp}/run.metrics.json"
+  ./build-dev/tools/validate_obs trace "${tmp}/run.trace.json" \
+    --min-coverage "${ZH_OBS_MIN_COVERAGE:-95}"
+  ./build-dev/tools/validate_obs metrics "${tmp}/run.metrics.json"
+
+  log "unwritable --trace/--metrics paths fail fast (dev)"
+  if ./build-dev/tools/zhist hist "${tmp}/dem.zgrid" "${tmp}/zones.tsv" \
+    -o "${tmp}/hist-neg.csv" --trace /nonexistent-zh-dir/x.json \
+    2>/dev/null; then
+    echo "expected nonzero exit for unwritable --trace path" >&2
+    return 1
+  fi
+
+  log "per-rank metrics table under fault injection (dev)"
+  ./build-dev/tools/zhist hist "${tmp}/dem.zgrid" "${tmp}/zones.tsv" \
+    -o "${tmp}/hist-cluster.csv" --bins 256 --tile 64 --ranks 3 \
+    --fault-plan "seed=5,drop=0.05,crash=2@partition_done" \
+    --metrics "${tmp}/cluster.metrics.json"
+  ./build-dev/tools/validate_obs metrics "${tmp}/cluster.metrics.json" \
+    --require-ranks 3
+
+  log "kill-switch build (ZH_OBS=OFF)"
+  configure_and_build obs-off
+  ./build-obs-off/tests/zh_tests --gtest_filter='*Obs*' --gtest_brief=1
+
+  log "dormant-instrumentation overhead (ON vs OFF build)"
+  local on off
+  on="$(./build-dev/bench/bench_obs_overhead |
+    sed -n 's/^ZH_OBS_BENCH_SECONDS=//p')"
+  off="$(./build-obs-off/bench/bench_obs_overhead |
+    sed -n 's/^ZH_OBS_BENCH_SECONDS=//p')"
+  awk -v on="${on}" -v off="${off}" -v tol="${ZH_OBS_TOL_PCT:-2}" 'BEGIN {
+    pct = (on - off) / off * 100.0;
+    printf "  obs ON %.3fs vs OFF %.3fs: %+.2f%% (tolerance %s%%)\n", \
+           on, off, pct, tol;
+    exit (pct <= tol + 0.0) ? 0 : 1;
+  }'
+}
+
 run_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
     log "clang-tidy not found -- skipping lint stage"
@@ -93,7 +148,7 @@ run_tidy() {
 
 stages=("$@")
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(dev asan tsan tidy)
+  stages=(dev asan tsan obs tidy)
 fi
 
 for stage in "${stages[@]}"; do
@@ -102,9 +157,10 @@ for stage in "${stages[@]}"; do
     asan | asan-ubsan) run_asan ;;
     tsan) run_tsan ;;
     faults) run_faults ;;
+    obs) run_obs ;;
     tidy) run_tidy ;;
     *)
-      echo "unknown stage '${stage}' (expected: dev asan tsan faults tidy)" >&2
+      echo "unknown stage '${stage}' (expected: dev asan tsan faults obs tidy)" >&2
       exit 2
       ;;
   esac

@@ -26,6 +26,7 @@
 //     Out-of-core run over a catalog directory.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -40,12 +41,14 @@ using namespace zh;
                "usage:\n"
                "  zhist hist <raster> <zones.tsv> [-o hist.csv] "
                "[--bins N] [--tile N] [--stats] [--partitions RxC] "
-               "[--ranks N] [--fault-plan SPEC]\n"
+               "[--ranks N] [--fault-plan SPEC] [--trace FILE] "
+               "[--metrics FILE] [--report]\n"
                "  zhist encode <raster> <out.bq> [--tile N]\n"
                "  zhist decode <in.bq> <out.zgrid>\n"
                "  zhist render <raster> <out.ppm> [--max-edge N]\n"
                "  zhist synth <out.zgrid> [--rows N] [--cols N] "
-               "[--seed S]\n");
+               "[--seed S]\n"
+               "  zhist zones <out.tsv> [--zones N] [--seed S]\n");
   std::exit(2);
 }
 
@@ -59,12 +62,16 @@ struct Args {
   int part_cols = 1;
   std::int64_t rows = 1200;
   std::int64_t cols = 1200;
+  std::size_t nzones = 64;
   std::uint64_t seed = 42;
   std::int64_t max_edge = 1024;
   double eps = 0.0;
   bool eager = false;
   std::size_t ranks = 1;
   std::string fault_plan;
+  std::string trace;    ///< Chrome trace_event JSON output path
+  std::string metrics;  ///< run-report JSON output path
+  bool report = false;  ///< print the human-readable run report
 };
 
 Args parse(int argc, char** argv) {
@@ -93,6 +100,8 @@ Args parse(int argc, char** argv) {
       args.rows = std::stoll(next());
     } else if (a == "--cols") {
       args.cols = std::stoll(next());
+    } else if (a == "--zones") {
+      args.nzones = static_cast<std::size_t>(std::stoull(next()));
     } else if (a == "--seed") {
       args.seed = std::stoull(next());
     } else if (a == "--max-edge") {
@@ -105,6 +114,12 @@ Args parse(int argc, char** argv) {
       args.ranks = static_cast<std::size_t>(std::stoull(next()));
     } else if (a == "--fault-plan") {
       args.fault_plan = next();
+    } else if (a == "--trace") {
+      args.trace = next();
+    } else if (a == "--metrics") {
+      args.metrics = next();
+    } else if (a == "--report") {
+      args.report = true;
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       usage();
@@ -126,8 +141,63 @@ DemRaster load_raster(const std::string& path) {
   return read_zgrid(path);
 }
 
+// Fail fast (one line, nonzero exit via main's catch) before the run
+// spends minutes computing into an unwritable --trace/--metrics path.
+// Append mode so probing never truncates an existing file.
+void require_writable(const std::string& path) {
+  std::ofstream probe(path, std::ios::app);
+  ZH_REQUIRE_IO(probe.good(), "cannot open for write: ", path);
+}
+
+// Turn instrumentation on per the flags; returns whether any obs output
+// was requested at all.
+bool setup_obs(const Args& args) {
+  if (!args.trace.empty()) {
+    require_writable(args.trace);
+    obs::set_trace_enabled(true);
+  }
+  if (!args.metrics.empty()) require_writable(args.metrics);
+  if (!args.metrics.empty() || args.report) obs::set_metrics_enabled(true);
+  return !args.trace.empty() || !args.metrics.empty() || args.report;
+}
+
+// Emit the requested outputs: human report, metrics JSON, trace JSON.
+void finish_obs(const Args& args, const obs::RunReport& report) {
+  if (args.report) obs::print_report(stdout, report);
+  if (!args.metrics.empty()) {
+    obs::write_report_json(args.metrics, report);
+    std::fprintf(stderr, "wrote %s\n", args.metrics.c_str());
+  }
+  if (!args.trace.empty()) {
+    obs::write_chrome_trace(args.trace);
+    std::fprintf(stderr, "wrote %s\n", args.trace.c_str());
+  }
+}
+
+obs::RunReport base_report(const Args& args, const DemRaster& raster,
+                           const PolygonSet& zones) {
+  obs::RunReport report;
+  report.tool = "zhist hist";
+  report.workload = args.positional[0] + " + " + args.positional[1];
+  report.config = {
+      {"raster_rows", std::to_string(raster.rows())},
+      {"raster_cols", std::to_string(raster.cols())},
+      {"zones", std::to_string(zones.size())},
+      {"bins", std::to_string(args.bins)},
+      {"tile", std::to_string(args.tile)},
+      {"partitions", std::to_string(args.part_rows) + "x" +
+                         std::to_string(args.part_cols)},
+      {"ranks", std::to_string(args.ranks)},
+  };
+  if (!args.fault_plan.empty()) {
+    report.config.emplace_back("fault_plan", args.fault_plan);
+  }
+  return report;
+}
+
 int cmd_hist(const Args& args) {
   if (args.positional.size() != 2) usage();
+  const bool with_obs = setup_obs(args);
   const DemRaster raster = load_raster(args.positional[0]);
   const PolygonSet zones = read_polygon_tsv(args.positional[1]);
   std::fprintf(stderr, "raster %lldx%lld, %zu zones, %u bins, tile %lld\n",
@@ -184,6 +254,29 @@ int cmd_hist(const Args& args) {
                     s.mean, s.stddev);
       }
     }
+    if (with_obs) {
+      obs::RunReport report = base_report(args, raster, zones);
+      // Per-step times reduce as max over ranks -- the paper's "longest
+      // runtime among all the nodes" convention.
+      for (const StepTimes& t : cres.per_rank) {
+        report.times = report.times.max_with(t);
+      }
+      report.has_times = true;
+      append_work_counters(report, cres.work);
+      report.counters.emplace_back("comm_bytes", cres.comm_bytes);
+      report.counters.emplace_back("incomplete_partitions",
+                                   cres.incomplete_partitions.size());
+      report.rank_columns = rank_metrics_columns();
+      for (std::size_t r = 0; r < cres.rank_metrics.size(); ++r) {
+        report.rank_rows.push_back(
+            rank_metrics_values(cres.rank_metrics[r]));
+        const RankState st = cres.rank_outcomes[r].state;
+        report.rank_states.push_back(st == RankState::kCompleted ? "completed"
+                                     : st == RankState::kCrashed ? "crashed"
+                                                                 : "timed-out");
+      }
+      finish_obs(args, report);
+    }
     return cres.degraded ? 1 : 0;
   }
 
@@ -213,6 +306,13 @@ int cmd_hist(const Args& args) {
                   static_cast<unsigned long long>(s.count), s.min, s.max,
                   s.mean, s.stddev);
     }
+  }
+  if (with_obs) {
+    obs::RunReport report = base_report(args, raster, zones);
+    report.times = result.times;
+    report.has_times = true;
+    append_work_counters(report, result.work);
+    finish_obs(args, report);
   }
   return 0;
 }
@@ -252,6 +352,16 @@ int cmd_synth(const Args& args) {
   std::fprintf(stderr, "wrote %lldx%lld synthetic DEM to %s\n",
                static_cast<long long>(args.rows),
                static_cast<long long>(args.cols),
+               args.positional[0].c_str());
+  return 0;
+}
+
+int cmd_zones(const Args& args) {
+  if (args.positional.size() != 1) usage();
+  write_polygon_tsv(args.positional[0],
+                    conus::generate_county_layer(
+                        static_cast<int>(args.nzones), args.seed));
+  std::fprintf(stderr, "wrote %zu synthetic zones to %s\n", args.nzones,
                args.positional[0].c_str());
   return 0;
 }
@@ -363,6 +473,7 @@ int main(int argc, char** argv) {
     if (cmd == "decode") return cmd_decode(args);
     if (cmd == "render") return cmd_render(args);
     if (cmd == "synth") return cmd_synth(args);
+    if (cmd == "zones") return cmd_zones(args);
     if (cmd == "points") return cmd_points(args);
     if (cmd == "simplify") return cmd_simplify(args);
     if (cmd == "validate") return cmd_validate(args);

@@ -17,6 +17,29 @@
 
 namespace zh {
 
+/// Map a cell value to its histogram bin: values >= bins fold into the
+/// top bin (the paper's "elevations < 5000 m" convention keeps the fold
+/// rare but it must stay well-defined). Single source of truth for every
+/// binning site -- Step 1, Step 4, baselines, lazy and quadtree paths.
+[[nodiscard]] constexpr BinIndex bin_index(CellValue v, BinIndex bins) {
+  return v < bins ? static_cast<BinIndex>(v) : bins - 1;
+}
+
+/// bin_index that also counts folded (out-of-range) values into
+/// `clamped`, weighted by `weight` cells (quadtree leaves bin uniform
+/// blocks at once). Callers flush the tally via note_values_clamped so
+/// silent folding becomes the histogram.values_clamped metric.
+[[nodiscard]] inline BinIndex bin_index(CellValue v, BinIndex bins,
+                                        std::uint64_t& clamped,
+                                        std::uint64_t weight = 1) {
+  if (v >= bins) clamped += weight;
+  return bin_index(v, bins);
+}
+
+/// Report `n` clamped values to the histogram.values_clamped obs
+/// counter (no-op when n == 0 or metrics are disabled).
+void note_values_clamped(std::uint64_t n);
+
 class HistogramSet {
  public:
   HistogramSet() = default;

@@ -138,17 +138,17 @@ HybridResult run_hybrid(Device& primary, Device& secondary,
     double secondary_s = 0.0;
     std::thread secondary_thread([&] {
       ZH_TRACE_SPAN("hybrid.refine_secondary", "pipeline");
-      rc_secondary =
-          refine_boundary_tiles(secondary, tail, soa, raster, tiling,
-                                secondary_hist, zc.refine_granularity);
+      rc_secondary = refine_boundary_tiles(
+          secondary, tail, soa, raster, tiling, secondary_hist,
+          zc.refine_granularity, zc.refine_strategy);
       secondary_s = secondary_timer.seconds();
     });
     Timer primary_timer;
     {
       ZH_TRACE_SPAN("hybrid.refine_primary", "pipeline");
-      rc_primary =
-          refine_boundary_tiles(primary, head, soa, raster, tiling,
-                                primary_hist, zc.refine_granularity);
+      rc_primary = refine_boundary_tiles(
+          primary, head, soa, raster, tiling, primary_hist,
+          zc.refine_granularity, zc.refine_strategy);
     }
     result.primary_seconds = primary_timer.seconds();
     secondary_thread.join();
@@ -164,6 +164,10 @@ HybridResult run_hybrid(Device& primary, Device& secondary,
       rc_primary.cell_tests + rc_secondary.cell_tests;
   result.work.pip_edge_tests =
       rc_primary.edge_tests + rc_secondary.edge_tests;
+  result.work.pip_rows_scanned =
+      rc_primary.rows_scanned + rc_secondary.rows_scanned;
+  result.work.pip_run_cells =
+      rc_primary.run_cells + rc_secondary.run_cells;
   result.work.cells_in_polygons = result.per_polygon.total();
   return result;
 }

@@ -105,6 +105,7 @@ ZonalResult run_lazy(Device& device, const BqCompressedRaster& compressed,
     const std::int64_t cols = raster.cols();
     BinCount* out = tile_hist.flat().data();
     const BinIndex bins = config.bins;
+    std::atomic<std::uint64_t> clamped_values{0};
     device.launch(
         static_cast<std::uint32_t>(hist_tiles.size()),
         [&](const BlockContext& ctx) {
@@ -112,6 +113,7 @@ ZonalResult run_lazy(Device& device, const BqCompressedRaster& compressed,
           const CellWindow w = tiling.tile_window(tile);
           BinCount* row =
               out + static_cast<std::size_t>(ctx.block_id()) * bins;
+          std::uint64_t clamped = 0;
           ctx.strided(static_cast<std::size_t>(w.cell_count()),
                       [&](std::size_t p) {
                         const std::int64_t r =
@@ -120,10 +122,12 @@ ZonalResult run_lazy(Device& device, const BqCompressedRaster& compressed,
                             w.col0 + static_cast<std::int64_t>(p) % w.cols;
                         const CellValue v = cells[static_cast<std::size_t>(
                             r * cols + c)];
-                        const BinIndex bb = v < bins ? v : bins - 1;
+                        const BinIndex bb = bin_index(v, bins, clamped);
                         atomic_add(&row[bb]);
                       });
+          clamped_values.fetch_add(clamped, std::memory_order_relaxed);
         });
+    note_values_clamped(clamped_values.load());
   }
   result.times.seconds[1] = timer.seconds();
 
@@ -141,10 +145,12 @@ ZonalResult run_lazy(Device& device, const BqCompressedRaster& compressed,
   const PolygonSoA soa = PolygonSoA::build(polygons);
   const RefineCounters rc = refine_boundary_tiles(
       device, pairing.intersect, soa, raster, tiling, result.per_polygon,
-      config.refine_granularity);
+      config.refine_granularity, config.refine_strategy);
   result.times.seconds[4] = timer.seconds();
   result.work.pip_cell_tests = rc.cell_tests;
   result.work.pip_edge_tests = rc.edge_tests;
+  result.work.pip_rows_scanned = rc.rows_scanned;
+  result.work.pip_run_cells = rc.run_cells;
   result.work.cells_in_polygons = result.per_polygon.total();
 
   if (counters != nullptr) {

@@ -61,10 +61,13 @@ SeriesResult run_series(Device& device, std::span<const DemRaster> bands,
 
     timer.reset();
     const RefineCounters rc = refine_boundary_tiles(
-        device, pairing.intersect, soa, band, tiling, polygon_hist);
+        device, pairing.intersect, soa, band, tiling, polygon_hist,
+        config.refine_granularity, config.refine_strategy);
     result.times.seconds[4] += timer.seconds();
     result.work.pip_cell_tests += rc.cell_tests;
     result.work.pip_edge_tests += rc.edge_tests;
+    result.work.pip_rows_scanned += rc.rows_scanned;
+    result.work.pip_run_cells += rc.run_cells;
     result.work.cells_in_polygons += polygon_hist.total();
 
     result.per_band.push_back(std::move(polygon_hist));

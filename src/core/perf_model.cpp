@@ -49,8 +49,16 @@ StepTimes PerfModel::project(const WorkCounters& work,
        rates_.pairing_pairs_per_s);
   proj(3, static_cast<double>(work.aggregate_bin_adds),
        rates_.aggregate_adds_per_s);
+  // Step 4 is the sum of its two work kinds: ray-crossing edge tests
+  // (the only term under brute refinement) plus the scanline run sweep's
+  // per-cell cursor work (zero under brute).
   proj(4, static_cast<double>(work.pip_edge_tests),
        rates_.pip_edge_tests_per_s);
+  if (work.pip_run_cells > 0) {
+    const double scale = device_step_scale(dev, 4);
+    t.seconds[4] += static_cast<double>(work.pip_run_cells) /
+                    (rates_.pip_run_cells_per_s * scale);
+  }
 
   // End-to-end overhead: host->device copy of the (compressed) raster at
   // PCIe bandwidth, plus a fixed 1 s allowance for result write-back --

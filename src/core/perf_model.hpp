@@ -35,6 +35,11 @@ class PerfModel {
     double pairing_pairs_per_s = 2.92e5;    ///< Step 2: 204.5 k / 0.7 s
     double aggregate_adds_per_s = 1.82e9;   ///< Step 3: 546 M / 0.3 s
     double pip_edge_tests_per_s = 2.674e10; ///< Step 4: 615 G / 23.0 s
+    /// Step 4 scanline run sweep: one cursor comparison + optional bin
+    /// update per cell, the same order of work as the Step-1 cell loop,
+    /// so it inherits that calibration. Brute runs report zero run
+    /// cells, leaving their projection on the edge-test term alone.
+    double pip_run_cells_per_s = 2.52e9;
   };
 
   PerfModel() = default;

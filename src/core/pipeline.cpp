@@ -19,6 +19,8 @@ void append_work_counters(obs::RunReport& report, const WorkCounters& work) {
   add("aggregate_bin_adds", work.aggregate_bin_adds);
   add("pip_cell_tests", work.pip_cell_tests);
   add("pip_edge_tests", work.pip_edge_tests);
+  add("pip_rows_scanned", work.pip_rows_scanned);
+  add("pip_run_cells", work.pip_run_cells);
   add("cells_in_polygons", work.cells_in_polygons);
   add("compressed_bytes", work.compressed_bytes);
   add("raw_bytes", work.raw_bytes);
@@ -34,6 +36,8 @@ WorkCounters& WorkCounters::operator+=(const WorkCounters& o) {
   aggregate_bin_adds += o.aggregate_bin_adds;
   pip_cell_tests += o.pip_cell_tests;
   pip_edge_tests += o.pip_edge_tests;
+  pip_rows_scanned += o.pip_rows_scanned;
+  pip_run_cells += o.pip_run_cells;
   cells_in_polygons += o.cells_in_polygons;
   compressed_bytes += o.compressed_bytes;
   raw_bytes += o.raw_bytes;
@@ -100,10 +104,12 @@ ZonalResult ZonalPipeline::run(const DemRaster& raster,
   timer.reset();
   const RefineCounters rc = refine_boundary_tiles(
       *device_, pairing.intersect, soa, raster, tiling, result.per_polygon,
-      config_.refine_granularity);
+      config_.refine_granularity, config_.refine_strategy);
   result.times.seconds[4] = timer.seconds();
   result.work.pip_cell_tests = rc.cell_tests;
   result.work.pip_edge_tests = rc.edge_tests;
+  result.work.pip_rows_scanned = rc.rows_scanned;
+  result.work.pip_run_cells = rc.run_cells;
   result.work.cells_in_polygons = result.per_polygon.total();
   return result;
 }

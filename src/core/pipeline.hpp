@@ -30,6 +30,8 @@ struct ZonalConfig {
   CellOrder cell_order = CellOrder::kRowMajor;  ///< Step-1 visitation
   RefineGranularity refine_granularity =
       RefineGranularity::kPolygonGroup;  ///< Step-4 block scheduling
+  RefineStrategy refine_strategy =
+      RefineStrategy::kBrute;  ///< Step-4 cell classification path
 };
 
 /// Work accounting of one pipeline run; all quantities exact.
@@ -43,6 +45,8 @@ struct WorkCounters {
   std::uint64_t aggregate_bin_adds = 0; ///< inside pairs x bins (Step 3)
   std::uint64_t pip_cell_tests = 0;     ///< Step 4 cell tests
   std::uint64_t pip_edge_tests = 0;     ///< Step 4 edge evaluations
+  std::uint64_t pip_rows_scanned = 0;   ///< Step 4 scanline rows (0 = brute)
+  std::uint64_t pip_run_cells = 0;      ///< Step 4 run-classified cells
   std::uint64_t cells_in_polygons = 0;  ///< final attributed cell count
   std::uint64_t compressed_bytes = 0;   ///< Step 0 input volume (if any)
   std::uint64_t raw_bytes = 0;

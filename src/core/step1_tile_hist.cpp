@@ -1,5 +1,6 @@
 #include "core/step1_tile_hist.hpp"
 
+#include <atomic>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -39,6 +40,7 @@ void tile_histograms_into(Device& device, const DemRaster& raster,
   // below. Atomic adds are kept even though one block owns one tile's
   // histogram -- faithful to the paper's kernel, and required if a future
   // scheduler splits tiles across blocks.
+  std::atomic<std::uint64_t> clamped_values{0};
   device.launch_named(
       "CellAggrKernel", static_cast<std::uint32_t>(tiling.tile_count()),
       [&, nodata, cols, out](const BlockContext& ctx) {
@@ -48,6 +50,7 @@ void tile_histograms_into(Device& device, const DemRaster& raster,
     BinCount* tile_hist = out + static_cast<std::size_t>(tile) * bins;
     const std::size_t n = static_cast<std::size_t>(w.cell_count());
     const std::size_t cell_count = cells.size();
+    std::uint64_t clamped = 0;
 
     switch (mode) {
       case CountMode::kAtomic:
@@ -66,7 +69,7 @@ void tile_histograms_into(Device& device, const DemRaster& raster,
                           ZH_DCHECK_BOUNDS(cell, cell_count);
                           const CellValue v = cells[cell];
                           if (nodata && v == *nodata) return;
-                          const BinIndex b = v < bins ? v : bins - 1;
+                          const BinIndex b = bin_index(v, bins, clamped);
                           ZH_DCHECK_BOUNDS(b, bins);
                           atomic_add(&tile_hist[b]);
                         });
@@ -81,7 +84,7 @@ void tile_histograms_into(Device& device, const DemRaster& raster,
           ZH_DCHECK_BOUNDS(cell, cell_count);
           const CellValue v = cells[cell];
           if (nodata && v == *nodata) return;
-          const BinIndex b = v < bins ? v : bins - 1;
+          const BinIndex b = bin_index(v, bins, clamped);
           ZH_DCHECK_BOUNDS(b, bins);
           atomic_add(&tile_hist[b]);
         });
@@ -102,7 +105,7 @@ void tile_histograms_into(Device& device, const DemRaster& raster,
           ZH_DCHECK_BOUNDS(cell, cell_count);
           const CellValue v = cells[cell];
           if (nodata && v == *nodata) return;
-          const BinIndex b = v < bins ? v : bins - 1;
+          const BinIndex b = bin_index(v, bins, clamped);
           ZH_DCHECK_BOUNDS(b, bins);
           const std::uint32_t t = static_cast<std::uint32_t>(p % dim);
           ++priv[static_cast<std::size_t>(t) * bins + b];
@@ -118,7 +121,9 @@ void tile_histograms_into(Device& device, const DemRaster& raster,
         break;
       }
     }
+    clamped_values.fetch_add(clamped, std::memory_order_relaxed);
   });
+  note_values_clamped(clamped_values.load());
 }
 
 }  // namespace zh

@@ -1,16 +1,24 @@
 // Step 4: cell-in-polygon refinement for boundary tiles (Sec. III.D,
 // Fig. 5).
 //
-// One device block per intersect polygon group. Threads stride over the
-// cell positions of a tile; for each of the group's tiles, each cell's
-// center goes through the ray-crossing test against the polygon's
-// flattened (SoA) vertex arrays, and hits update the polygon histogram.
-// Per-block exclusive ownership of the polygon's output row makes plain
-// (non-atomic) updates safe, as in Step 3.
+// One device block per intersect polygon group (or per pair, see
+// RefineGranularity). Two strategies classify the cells of a boundary
+// tile:
+//
+//  * kBrute -- the paper's kernel verbatim: every cell center goes
+//    through the ray-crossing test against the polygon's flattened (SoA)
+//    vertex arrays, O(cells x edges) per tile.
+//  * kScanline -- row-coherent refinement: a per-polygon y-banded edge
+//    index (geom/edge_index) yields the edges crossing each raster row's
+//    cell-center scanline; their sorted x-intercepts convert the row
+//    into inside/outside cell runs, O(E_row log E_row + cols) per row.
+//    Intercepts and the parity rule reuse the exact expressions of
+//    pip.cpp's edge_crosses, so histograms are bit-identical to kBrute.
 //
 // This step dominates end-to-end runtime in the paper (Table 2); its
-// cost is proportional to boundary-tile cells x polygon vertices, which
-// is what the tile-size ablation trades against Step 1.
+// brute cost is proportional to boundary-tile cells x polygon vertices,
+// which is what the tile-size ablation trades against Step 1 and what
+// the scanline path collapses to per-row work.
 #pragma once
 
 #include <cstdint>
@@ -23,14 +31,6 @@
 #include "grid/tiling.hpp"
 
 namespace zh {
-
-/// Work counters from the refinement kernel (feed the performance model
-/// and the ablation benches).
-struct RefineCounters {
-  std::uint64_t cell_tests = 0;   ///< cell-in-polygon tests performed
-  std::uint64_t edge_tests = 0;   ///< ray-crossing edge evaluations
-  std::uint64_t cells_counted = 0;  ///< cells found inside
-};
 
 /// Block-scheduling granularity of the refinement kernel.
 ///
@@ -46,12 +46,36 @@ enum class RefineGranularity : std::uint8_t {
   kPolygonTile,
 };
 
+/// Cell-classification strategy of the refinement kernel. kAuto picks
+/// per launch from the measured edges-per-pair density: scanline wins
+/// once sorting a row's few intercepts beats testing every edge for
+/// every cell (see DESIGN.md, "Refinement strategies").
+enum class RefineStrategy : std::uint8_t {
+  kBrute,
+  kScanline,
+  kAuto,
+};
+
+/// Work counters from the refinement kernel (feed the performance model
+/// and the ablation benches).
+struct RefineCounters {
+  std::uint64_t cell_tests = 0;   ///< cells classified (strategy-invariant)
+  std::uint64_t edge_tests = 0;   ///< crossing predicates actually evaluated
+  std::uint64_t cells_counted = 0;  ///< cells found inside
+  std::uint64_t rows_scanned = 0;   ///< scanline rows processed (0 = brute)
+  std::uint64_t run_cells = 0;      ///< cells classified via runs (0 = brute)
+  RefineStrategy strategy = RefineStrategy::kBrute;  ///< strategy executed
+};
+
 /// Run cell-in-polygon tests for every (cell, polygon) combination in the
-/// intersect groups, accumulating hits into `polygon_hist`.
+/// intersect groups, accumulating hits into `polygon_hist`. Both
+/// granularities support both strategies and produce bit-identical
+/// histograms.
 RefineCounters refine_boundary_tiles(
     Device& device, const PolygonTileGroups& intersect,
     const PolygonSoA& soa, const DemRaster& raster,
     const TilingScheme& tiling, HistogramSet& polygon_hist,
-    RefineGranularity granularity = RefineGranularity::kPolygonGroup);
+    RefineGranularity granularity = RefineGranularity::kPolygonGroup,
+    RefineStrategy strategy = RefineStrategy::kBrute);
 
 }  // namespace zh

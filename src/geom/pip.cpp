@@ -76,6 +76,21 @@ bool point_in_polygon_soa_raw(const double* x_v, const double* y_v,
   return in_polygon;
 }
 
+std::uint32_t soa_tested_edges(const double* x_v, const double* y_v,
+                               std::uint32_t p_f, std::uint32_t p_t) {
+  // Mirrors the skip structure of point_in_polygon_soa_raw exactly, so
+  // the count is per-evaluation exact for any separator placement.
+  std::uint32_t n = 0;
+  for (std::uint32_t j = p_f; j + 1 < p_t; ++j) {
+    if (x_v[j + 1] == 0.0 && y_v[j + 1] == 0.0) {
+      ++j;
+      continue;
+    }
+    ++n;
+  }
+  return n;
+}
+
 bool point_in_polygon_soa(const PolygonSoA& soa, PolygonId pid, double x,
                           double y) {
   const auto [p_f, p_t] = soa.vertex_range(pid);

@@ -42,4 +42,12 @@ namespace zh {
                                             std::uint32_t p_t, double x,
                                             double y);
 
+/// Number of edges point_in_polygon_soa_raw actually evaluates for
+/// [p_f, p_t) -- the flattened edge count minus the two skipped per
+/// (0,0) ring separator. Feeds exact step4.pip_edge_tests accounting.
+[[nodiscard]] std::uint32_t soa_tested_edges(const double* x_v,
+                                             const double* y_v,
+                                             std::uint32_t p_f,
+                                             std::uint32_t p_t);
+
 }  // namespace zh

@@ -10,8 +10,10 @@ std::vector<TileId> TilingScheme::tiles_covering(
   if (tiles_x_ == 0 || tiles_y_ == 0) return out;
 
   // Convert the box to cell indices, clamp to the raster, then to tile
-  // indices. Using half-open cell semantics: the box's max edge falling
-  // exactly on a cell boundary does not pull in the next cell.
+  // indices. Floor semantics are conservative: a box max edge exactly on
+  // a cell boundary pulls in the next cell, and an MBB extending past
+  // the raster clamps to the edge tiles -- over-inclusion only, which
+  // classify_box later demotes to kOutside, never omission.
   std::int64_t c0 = transform.x_to_col(b.min_x);
   std::int64_t c1 = transform.x_to_col(b.max_x);
   std::int64_t r0 = transform.y_to_row(b.max_y);  // north edge -> min row

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "core/histogram.hpp"
 #include "device/thread_pool.hpp"
 
 namespace zh {
@@ -218,11 +219,16 @@ std::optional<CellValue> RegionQuadtree::uniform_value(
 void RegionQuadtree::add_window_histogram(const CellWindow& w,
                                           std::span<BinCount> hist) const {
   ZH_REQUIRE(!hist.empty(), "histogram needs at least one bin");
+  const BinIndex bins = static_cast<BinIndex>(hist.size());
+  std::uint64_t clamped = 0;
   visit_window(0, 0, 0, extent_, w, [&](CellValue v, std::int64_t area) {
-    const std::size_t b =
-        v < hist.size() ? v : hist.size() - 1;
+    // A uniform leaf folds `area` cells at once, so the clamp tally is
+    // cell-weighted to stay comparable with the per-cell paths.
+    const BinIndex b =
+        bin_index(v, bins, clamped, static_cast<std::uint64_t>(area));
     hist[b] += static_cast<BinCount>(area);
   });
+  note_values_clamped(clamped);
 }
 
 Raster<CellValue> RegionQuadtree::to_raster() const {

@@ -106,6 +106,25 @@ TEST(Pip, SoaHandlesMultiRingViaSentinels) {
   EXPECT_FALSE(point_in_polygon_soa(soa, 0, 0.5, 0.5));
 }
 
+TEST(Pip, SoaTestedEdgesCountsRealEdgesOnly) {
+  // soa_tested_edges must mirror the PiP loop's skip structure exactly:
+  // per ring, the closing vertex contributes one real (closing) edge and
+  // the (0,0) sentinel removes two iterations, so a k-vertex ring tests
+  // k edges. This is the per-cell charge behind step4.pip_edge_tests.
+  PolygonSet set;
+  Polygon p = square_poly(1, 1, 2);                              // 4 edges
+  p.add_ring({{1.5, 1.5}, {2.5, 1.5}, {2.5, 2.5}, {1.5, 2.5}});  // 4 more
+  set.add(std::move(p));
+  set.add(Polygon({{{5, 5}, {6, 5}, {5.5, 6}}}));                // 3 edges
+  const PolygonSoA soa = PolygonSoA::build(set);
+  const auto [f0, t0] = soa.vertex_range(0);
+  const auto [f1, t1] = soa.vertex_range(1);
+  EXPECT_EQ(soa_tested_edges(soa.x_v().data(), soa.y_v().data(), f0, t0),
+            8u);
+  EXPECT_EQ(soa_tested_edges(soa.x_v().data(), soa.y_v().data(), f1, t1),
+            3u);
+}
+
 TEST(Pip, HalfOpenRuleCountsSharedVerticesOnce) {
   // A diamond whose top/bottom vertices sit exactly on the test row:
   // the half-open vertical rule must not double-count the apex edges.

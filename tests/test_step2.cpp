@@ -127,6 +127,39 @@ TEST(Step2, GroupsAreALosslessReorganization) {
             expect_total);
 }
 
+TEST(Step2, PolygonStraddlingLastTileRowAndColumnIsPaired) {
+  // Regression: a polygon overhanging the bottom-right raster corner has
+  // an MBB extending past the extent in both axes. tiles_covering must
+  // clamp it onto the last tile row/column (never drop the edge tiles,
+  // never wrap), and every interior cell center must stay covered.
+  Workload w;
+  w.polygons.add(Polygon(
+      {{{9.52, -0.5}, {10.5, -0.5}, {10.5, 0.48}, {9.52, 0.48}}}));
+  const std::vector<TileId> covered =
+      w.tiling.tiles_covering(w.polygons[0].mbr(), w.transform);
+  ASSERT_EQ(covered.size(), 1u);
+  EXPECT_EQ(covered[0], w.tiling.tile_id(9, 9));
+
+  const PairingResult res =
+      pair_and_group(w.polygons, w.tiling, w.transform);
+  EXPECT_EQ(res.candidate_pairs, 1u);
+  EXPECT_EQ(res.inside.pair_count(), 0u);  // the tile is only partly in
+  ASSERT_EQ(res.intersect.group_count(), 1u);
+  ASSERT_EQ(res.intersect.pair_count(), 1u);
+  EXPECT_EQ(res.intersect.tid_v[0], w.tiling.tile_id(9, 9));
+
+  // The in-raster part of the polygon really holds cell centers (so the
+  // pairing above is load-bearing, not vacuous).
+  int inside = 0;
+  for (std::int64_t r = 95; r < 100; ++r) {
+    for (std::int64_t c = 95; c < 100; ++c) {
+      inside += point_in_polygon(w.polygons[0],
+                                 w.transform.cell_center(r, c));
+    }
+  }
+  EXPECT_EQ(inside, 25);  // centers x in (9.52, 10.5), y in (-0.5, 0.48)
+}
+
 TEST(Step2, PolygonOutsideRasterYieldsNoPairs) {
   Workload w;
   w.polygons.add(Polygon({{{100, 100}, {101, 100}, {101, 101}}}));

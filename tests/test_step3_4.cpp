@@ -96,7 +96,9 @@ TEST(Step4, CountsExactlyTheInteriorCellsOfBoundaryTiles) {
   EXPECT_EQ(polys.of(0)[3], expect);
   EXPECT_EQ(rc.cells_counted, expect);
   EXPECT_EQ(rc.cell_tests, 400u);  // 4 tiles x 100 cells
-  EXPECT_GT(rc.edge_tests, rc.cell_tests);
+  // Exactly the 4 real edges are charged per cell: the closing vertex
+  // and the (0,0) ring sentinel the PiP loop skips are not edge tests.
+  EXPECT_EQ(rc.edge_tests, 1600u);
 }
 
 TEST(Step4, MultiRingPolygonExcludesHoleCells) {

@@ -23,8 +23,10 @@ CTEST_PARALLEL="${CTEST_PARALLEL:-${JOBS}}"
 
 # Concurrency suites exercised under TSan: ThreadPool + device emulation,
 # thrust-analog primitives, the MPI-like cluster layer (including the
-# fault-injection and timeout/heartbeat paths), and the stress mix.
-TSAN_FILTER='*ThreadPool*:*Primitive*:*Comm*:*Partition*:*Cluster*:*Stress*:*Device*:*Fault*:*Obs*'
+# fault-injection and timeout/heartbeat paths), the Step-4 refinement
+# strategies (parallel edge-index build + scanline kernels), and the
+# stress mix.
+TSAN_FILTER='*ThreadPool*:*Primitive*:*Comm*:*Partition*:*Cluster*:*Stress*:*Device*:*Fault*:*Obs*:*Refine*'
 
 # Fault-tolerance suites: deterministic fault injection, timeout/retry,
 # straggler recovery, corruption-detecting I/O, and the parser corpus.
@@ -44,6 +46,11 @@ run_dev() {
   configure_and_build dev
   log "ctest (dev)"
   ctest --preset dev -j "${CTEST_PARALLEL}"
+  # Step-4 strategy gate: scanline must stay bit-identical to brute,
+  # >= 3x cheaper in edge tests, and no slower on a dense-edge fixture
+  # (the bench exits nonzero otherwise).
+  log "step-4 refinement gate (bench_step4_refine)"
+  ZH_BENCH_JSON=- ./build-dev/bench/bench_step4_refine
 }
 
 run_asan() {

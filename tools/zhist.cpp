@@ -41,7 +41,8 @@ using namespace zh;
                "usage:\n"
                "  zhist hist <raster> <zones.tsv> [-o hist.csv] "
                "[--bins N] [--tile N] [--stats] [--partitions RxC] "
-               "[--ranks N] [--fault-plan SPEC] [--trace FILE] "
+               "[--refine brute|scanline|auto] [--ranks N] "
+               "[--fault-plan SPEC] [--trace FILE] "
                "[--metrics FILE] [--report]\n"
                "  zhist encode <raster> <out.bq> [--tile N]\n"
                "  zhist decode <in.bq> <out.zgrid>\n"
@@ -58,6 +59,9 @@ struct Args {
   BinIndex bins = 5000;
   std::int64_t tile = 360;
   bool stats = false;
+  // The CLI defaults to auto so real runs pick the measured best path;
+  // the library default stays brute (the paper's kernel) for fidelity.
+  RefineStrategy refine = RefineStrategy::kAuto;
   int part_rows = 1;
   int part_cols = 1;
   std::int64_t rows = 1200;
@@ -90,6 +94,18 @@ Args parse(int argc, char** argv) {
       args.tile = std::stoll(next());
     } else if (a == "--stats") {
       args.stats = true;
+    } else if (a == "--refine") {
+      const std::string v = next();
+      if (v == "brute") {
+        args.refine = RefineStrategy::kBrute;
+      } else if (v == "scanline") {
+        args.refine = RefineStrategy::kScanline;
+      } else if (v == "auto") {
+        args.refine = RefineStrategy::kAuto;
+      } else {
+        std::fprintf(stderr, "unknown --refine strategy: %s\n", v.c_str());
+        usage();
+      }
     } else if (a == "--partitions") {
       const std::string v = next();
       const auto x = v.find('x');
@@ -185,6 +201,9 @@ obs::RunReport base_report(const Args& args, const DemRaster& raster,
       {"zones", std::to_string(zones.size())},
       {"bins", std::to_string(args.bins)},
       {"tile", std::to_string(args.tile)},
+      {"refine", args.refine == RefineStrategy::kBrute      ? "brute"
+                 : args.refine == RefineStrategy::kScanline ? "scanline"
+                                                            : "auto"},
       {"partitions", std::to_string(args.part_rows) + "x" +
                          std::to_string(args.part_cols)},
       {"ranks", std::to_string(args.ranks)},
@@ -208,7 +227,8 @@ int cmd_hist(const Args& args) {
   if (args.ranks > 1 || !args.fault_plan.empty()) {
     ClusterRunConfig cfg;
     cfg.ranks = args.ranks > 0 ? args.ranks : 1;
-    cfg.zonal = {.tile_size = args.tile, .bins = args.bins};
+    cfg.zonal = {.tile_size = args.tile, .bins = args.bins,
+                 .refine_strategy = args.refine};
     cfg.fault_tolerance.enabled = true;
     if (!args.fault_plan.empty()) {
       cfg.fault_tolerance.faults = FaultPlan::parse(args.fault_plan);
@@ -282,7 +302,8 @@ int cmd_hist(const Args& args) {
 
   Device device;
   const ZonalPipeline pipe(device,
-                           {.tile_size = args.tile, .bins = args.bins});
+                           {.tile_size = args.tile, .bins = args.bins,
+                            .refine_strategy = args.refine});
   Timer timer;
   const ZonalResult result =
       (args.part_rows > 1 || args.part_cols > 1)

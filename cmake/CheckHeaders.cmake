@@ -1,0 +1,34 @@
+# check_headers: compile every src/**/*.hpp standalone, proving each
+# header is self-contained (includes what it uses) -- the compiler-backed
+# half of zh-lint's pragma-once/self-containment hygiene rule. The target
+# is EXCLUDE_FROM_ALL: it builds only via `cmake --build <dir> --target
+# check_headers`, which tools/check.sh's lint stage and the CI lint job
+# invoke.
+#
+# Each header gets a generated one-line TU `#include "<header>"`; the
+# wrapper is only (re)written when its content changes so incremental
+# builds stay incremental.
+file(GLOB_RECURSE _zh_check_headers CONFIGURE_DEPENDS
+  ${CMAKE_SOURCE_DIR}/src/*.hpp)
+
+set(_zh_check_header_tus "")
+foreach(_zh_hdr IN LISTS _zh_check_headers)
+  file(RELATIVE_PATH _zh_rel ${CMAKE_SOURCE_DIR}/src ${_zh_hdr})
+  string(REPLACE "/" "__" _zh_stem ${_zh_rel})
+  string(REPLACE ".hpp" ".cpp" _zh_stem ${_zh_stem})
+  set(_zh_tu ${CMAKE_BINARY_DIR}/check_headers/${_zh_stem})
+  set(_zh_content "#include \"${_zh_rel}\"  // IWYU pragma: keep\n")
+  if(EXISTS ${_zh_tu})
+    file(READ ${_zh_tu} _zh_existing)
+  else()
+    set(_zh_existing "")
+  endif()
+  if(NOT _zh_existing STREQUAL _zh_content)
+    file(WRITE ${_zh_tu} ${_zh_content})
+  endif()
+  list(APPEND _zh_check_header_tus ${_zh_tu})
+endforeach()
+
+add_library(check_headers OBJECT EXCLUDE_FROM_ALL ${_zh_check_header_tus})
+target_include_directories(check_headers PRIVATE ${CMAKE_SOURCE_DIR}/src)
+target_link_libraries(check_headers PRIVATE Threads::Threads)

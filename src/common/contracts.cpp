@@ -9,6 +9,7 @@ namespace zh::detail {
                                 const std::string& msg) {
   // fprintf, not iostreams: the process is in an arbitrary (possibly
   // lock-holding) state, and stderr must stay unbuffered for death tests.
+  // zh-lint-ignore(stdio-in-lib): abort path; the death-test harness reads stderr
   std::fprintf(stderr, "%s:%d: contract violated: %s%s%s\n", file, line,
                cond, msg.empty() ? "" : " -- ", msg.c_str());
   std::fflush(stderr);

@@ -41,7 +41,7 @@ class TimeoutError : public Error {
 /// Point in time a blocking call must give up at. Deadlines compose
 /// naturally across retries: each attempt waits until min(deadline,
 /// attempt budget), so nesting never extends the caller's bound.
-class Deadline {
+class [[nodiscard]] Deadline {
  public:
   using Clock = std::chrono::steady_clock;
 

@@ -168,7 +168,8 @@ std::size_t ThreadPool::div_up_local(std::size_t a, std::size_t b) {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool& pool = *new ThreadPool();  // leak: outlive all statics
+  // zh-lint-ignore(naked-new): intentional leak so the pool outlives all statics
+  static ThreadPool& pool = *new ThreadPool();
   return pool;
 }
 

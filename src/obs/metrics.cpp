@@ -53,6 +53,7 @@ struct MetricsRegistry {
 };
 
 MetricsRegistry& registry() {
+  // zh-lint-ignore(naked-new): leaky singleton; must survive detached threads at exit
   static MetricsRegistry* r = new MetricsRegistry();
   return *r;
 }

@@ -38,6 +38,7 @@ struct TraceRegistry {
 };
 
 TraceRegistry& registry() {
+  // zh-lint-ignore(naked-new): leaky singleton; must survive detached threads at exit
   static TraceRegistry* r = new TraceRegistry();
   return *r;
 }

@@ -1,0 +1,13 @@
+// Clean fixture: a well-formed leaf header.
+#pragma once
+
+namespace zh {
+
+enum class FixtureCode : int { kOk, kBad };
+
+struct FixtureBase {
+  long rows = 0;
+  long cols = 0;
+};
+
+}  // namespace zh

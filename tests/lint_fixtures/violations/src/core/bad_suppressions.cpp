@@ -1,0 +1,13 @@
+// Fixture: every way a suppression comment can rot.
+namespace zh {
+void fixture_bad_suppressions() {
+  // zh-lint-ignore(naked-new)
+  int* p = new int;
+  // zh-lint-ignore(stdio-in-lib): nothing noisy below any more
+  use(p);
+  // zh-lint-ignore(no-such-rule): typo in the rule id
+  use(p);
+  // zh-lint-ignore: forgot to name a rule entirely
+  use(p);
+}
+}  // namespace zh

@@ -1,0 +1,9 @@
+// Fixture: unscoped / unjustified clang-tidy escapes.
+namespace zh {
+int fixture_escape(int v) {
+  return v + 1;  // NOLINT
+}
+int fixture_escape2(int v) {
+  return v + 2;  // NOLINT(bugprone-branch-clone)
+}
+}  // namespace zh

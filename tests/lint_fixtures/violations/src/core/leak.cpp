@@ -1,0 +1,7 @@
+// Fixture: manual ownership.
+namespace zh {
+void fixture_leak() {
+  int* p = new int[8];
+  delete[] p;
+}
+}  // namespace zh

@@ -1,0 +1,7 @@
+// Fixture: mutex handled without RAII.
+namespace zh {
+void fixture_manual_lock(std::mutex& m) {
+  m.lock();
+  m.unlock();
+}
+}  // namespace zh

@@ -1,0 +1,7 @@
+// Fixture: 32-bit cell index arithmetic.
+namespace zh {
+long fixture_narrow(int rows, int cols) {
+  long cell_count = rows * cols;
+  return cell_count;
+}
+}  // namespace zh

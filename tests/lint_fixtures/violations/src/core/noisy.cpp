@@ -1,0 +1,7 @@
+// Fixture: library code talking to the terminal.
+namespace zh {
+void fixture_noisy(long total) {
+  std::cout << total;
+  std::fprintf(stderr, "%ld\n", total);
+}
+}  // namespace zh

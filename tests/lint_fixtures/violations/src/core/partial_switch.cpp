@@ -1,0 +1,11 @@
+// Fixture: a project enum switched without covering every enumerator.
+namespace zh {
+enum class FixtureRelation : int { kOutside, kInside, kIntersect };
+int fixture_partial(FixtureRelation rel) {
+  switch (rel) {
+    case FixtureRelation::kOutside: return 0;
+    case FixtureRelation::kInside: return 1;
+  }
+  return 2;
+}
+}  // namespace zh

@@ -1,0 +1,4 @@
+// Fixture: header without #pragma once.
+namespace zh {
+struct FixtureUnguarded {};
+}  // namespace zh

@@ -1,0 +1,2 @@
+#pragma once
+#include "geom/cycle_a.hpp"

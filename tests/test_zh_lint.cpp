@@ -1,0 +1,139 @@
+// zh-lint's own test suite: drives the analyzer in-process over the
+// fixture mini-trees in tests/lint_fixtures/. The `violations` tree has
+// one deliberately-broken file per rule and the test pins the exact
+// (rule, file, line) triples; the `clean` tree packs near-misses for
+// every rule (widened index math, RAII locks, exhaustive switches,
+// consumed Status values, reasoned suppressions) and must stay silent.
+// check.sh's lint stage separately asserts the real tree is clean.
+#include "lint.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using zh::lint::Finding;
+using zh::lint::LintResult;
+
+std::string fixtures(const char* tree) {
+  return std::string(ZH_LINT_FIXTURES) + "/" + tree;
+}
+
+/// Compact "file:line:rule" form for exact-set comparison.
+std::vector<std::string> triples(const LintResult& r) {
+  std::vector<std::string> out;
+  out.reserve(r.findings.size());
+  for (const Finding& f : r.findings) {
+    out.push_back(f.file + ":" + std::to_string(f.line) + ":" + f.rule);
+  }
+  return out;
+}
+
+TEST(ZhLint, ViolationTreeReportsExactFindings) {
+  const LintResult r = zh::lint::run_lint(fixtures("violations"));
+  const std::vector<std::string> expected = {
+      "src/cluster/discard.cpp:4:discarded-status",
+      "src/cluster/discard.cpp:5:discarded-status",
+      "src/cluster/discard.cpp:6:discarded-status",
+      "src/common/upward.hpp:2:layering",
+      "src/core/bad_suppressions.cpp:4:suppression-audit",
+      "src/core/bad_suppressions.cpp:6:suppression-audit",
+      "src/core/bad_suppressions.cpp:8:suppression-audit",
+      "src/core/bad_suppressions.cpp:10:suppression-audit",
+      "src/core/escape.cpp:4:nolint-audit",
+      "src/core/escape.cpp:7:nolint-audit",
+      "src/core/leak.cpp:4:naked-new",
+      "src/core/leak.cpp:5:naked-new",
+      "src/core/manual_lock.cpp:4:raw-mutex-lock",
+      "src/core/manual_lock.cpp:5:raw-mutex-lock",
+      "src/core/narrow.cpp:4:index-width",
+      "src/core/noisy.cpp:4:stdio-in-lib",
+      "src/core/noisy.cpp:5:stdio-in-lib",
+      "src/core/partial_switch.cpp:5:switch-enum",
+      "src/core/unguarded.hpp:1:pragma-once",
+      "src/geom/cycle_b.hpp:2:include-cycle",
+  };
+  std::vector<std::string> got = triples(r);
+  std::vector<std::string> want = expected;
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+  for (const Finding& f : r.findings) {
+    EXPECT_FALSE(f.message.empty()) << f.file << ":" << f.line;
+  }
+  // The malformed-but-matching suppression in bad_suppressions.cpp still
+  // suppresses its naked-new (and is reported for having no reason).
+  EXPECT_EQ(r.suppressions_used, 1u);
+}
+
+TEST(ZhLint, EveryRuleFiresOnTheViolationTree) {
+  const LintResult r = zh::lint::run_lint(fixtures("violations"));
+  std::set<std::string> fired;
+  for (const Finding& f : r.findings) fired.insert(f.rule);
+  for (const std::string& id : zh::lint::rule_ids()) {
+    EXPECT_TRUE(fired.count(id) == 1) << "rule never fired: " << id;
+  }
+}
+
+TEST(ZhLint, CleanTreeIsSilent) {
+  const LintResult r = zh::lint::run_lint(fixtures("clean"));
+  EXPECT_TRUE(r.findings.empty())
+      << "first unexpected finding: " +
+             (r.findings.empty()
+                  ? std::string()
+                  : r.findings[0].file + ":" +
+                        std::to_string(r.findings[0].line) + ": " +
+                        r.findings[0].rule + ": " + r.findings[0].message);
+  EXPECT_EQ(r.files_scanned, 2u);
+  // The clean tree's one suppression (reasoned leaky singleton) is used,
+  // proving reasoned suppressions do not count as findings.
+  EXPECT_EQ(r.suppressions_used, 1u);
+}
+
+TEST(ZhLint, RuleRegistryIsDocumented) {
+  const auto& ids = zh::lint::rule_ids();
+  EXPECT_GE(ids.size(), 7u);
+  std::set<std::string> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), ids.size());
+  for (const std::string& id : ids) {
+    EXPECT_FALSE(zh::lint::rule_description(id).empty()) << id;
+  }
+  EXPECT_TRUE(zh::lint::rule_description("not-a-rule").empty());
+}
+
+TEST(ZhLint, JsonReportMirrorsRunReportStyle) {
+  const LintResult r = zh::lint::run_lint(fixtures("violations"));
+  const std::string json = zh::lint::report_json(r, "violations");
+  EXPECT_NE(json.find("\"schema\":\"zh-lint-report-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"tool\":\"zh-lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"findings_total\":" +
+                      std::to_string(r.findings.size())),
+            std::string::npos);
+  // Per-rule counts cover every registered rule.
+  for (const std::string& id : zh::lint::rule_ids()) {
+    EXPECT_NE(json.find("\"id\":\"" + id + "\""), std::string::npos) << id;
+  }
+}
+
+TEST(ZhLint, LexerStripsCommentsStringsAndRawStrings) {
+  // The clean tree embeds `new int[rows * cols]` inside a string literal
+  // and `std::cout` inside comments; silence there proves the stripper.
+  const LintResult r = zh::lint::run_lint(fixtures("clean"));
+  for (const Finding& f : r.findings) {
+    EXPECT_NE(f.rule, "naked-new") << f.message;
+    EXPECT_NE(f.rule, "stdio-in-lib") << f.message;
+    EXPECT_NE(f.rule, "index-width") << f.message;
+  }
+}
+
+TEST(ZhLint, MissingTreeScansNothing) {
+  const LintResult r = zh::lint::run_lint(fixtures("does-not-exist"));
+  EXPECT_EQ(r.files_scanned, 0u);
+  EXPECT_TRUE(r.findings.empty());
+}
+
+}  // namespace

@@ -2,12 +2,13 @@
 # Correctness-check driver: runs the warning-clean build, the sanitizer
 # matrix and the clang-tidy pass locally or in CI.
 #
-#   tools/check.sh              # full matrix: dev, asan-ubsan, tsan, obs, tidy
-#   tools/check.sh dev          # RelWithDebInfo + -Werror + full ctest
+#   tools/check.sh              # full matrix: dev, asan-ubsan, tsan, obs, lint, tidy
+#   tools/check.sh dev          # RelWithDebInfo + -Werror + full ctest + zh-lint
 #   tools/check.sh asan         # Debug + ASan/UBSan + full ctest
 #   tools/check.sh tsan         # Debug + TSan + concurrency test suites
 #   tools/check.sh faults       # fault-injection suites (dev + asan-ubsan)
 #   tools/check.sh obs          # trace/metrics end-to-end + ZH_OBS=OFF build
+#   tools/check.sh lint         # zh-lint project invariants + header check
 #   tools/check.sh tidy         # clang-tidy over src/ (needs clang-tidy)
 #
 # Each stage configures its own build tree (build-dev, build-asan-ubsan,
@@ -51,6 +52,22 @@ run_dev() {
   # (the bench exits nonzero otherwise).
   log "step-4 refinement gate (bench_step4_refine)"
   ZH_BENCH_JSON=- ./build-dev/bench/bench_step4_refine
+  # Project-invariant gate: the tree must be zh-lint-clean (layering DAG,
+  # error discipline, index widths, hygiene; see DESIGN.md §7).
+  log "zh-lint (dev flow)"
+  ./build-dev/tools/zh_lint/zh-lint .
+}
+
+run_lint() {
+  # Static project invariants: zh-lint (layering DAG, Status discipline,
+  # 64-bit index widths, hygiene, suppression audit) plus the compiler-
+  # verified header self-containment target. The JSON report lands next
+  # to the build tree for the CI artifact upload.
+  configure_and_build dev
+  log "zh-lint (full tree, JSON report)"
+  ./build-dev/tools/zh_lint/zh-lint . --json build-dev/zh-lint-report.json
+  log "header self-containment (check_headers)"
+  cmake --build build-dev --target check_headers -j "${JOBS}"
 }
 
 run_asan() {
@@ -155,7 +172,7 @@ run_tidy() {
 
 stages=("$@")
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(dev asan tsan obs tidy)
+  stages=(dev asan tsan obs lint tidy)
 fi
 
 for stage in "${stages[@]}"; do
@@ -165,9 +182,10 @@ for stage in "${stages[@]}"; do
     tsan) run_tsan ;;
     faults) run_faults ;;
     obs) run_obs ;;
+    lint) run_lint ;;
     tidy) run_tidy ;;
     *)
-      echo "unknown stage '${stage}' (expected: dev asan tsan faults obs tidy)" >&2
+      echo "unknown stage '${stage}' (expected: dev asan tsan faults obs lint tidy)" >&2
       exit 2
       ;;
   esac

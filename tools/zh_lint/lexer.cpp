@@ -1,0 +1,310 @@
+// Lexing for zh-lint: strip comments and string/char literal bodies while
+// keeping line structure, record comment text per line (suppression and
+// NOLINT audits read it), extract quoted includes, and tokenize the
+// stripped code. One deliberate asymmetry: preprocessor lines keep their
+// string bodies (so `#include "common/types.hpp"` stays extractable) but
+// are excluded from the token stream (so macro bodies never look like
+// discarded statements to the statement-shaped rules).
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "lint.hpp"
+
+namespace zh::lint {
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// A line belongs to the preprocessor if it starts with '#' (after
+/// whitespace) or continues a previous preprocessor line via '\'.
+bool starts_preprocessor(const std::string& code) {
+  for (char c : code) {
+    if (c == ' ' || c == '\t') continue;
+    return c == '#';
+  }
+  return false;
+}
+
+struct Stripper {
+  std::vector<std::string> code;     // per line
+  std::vector<std::string> comment;  // per line
+
+  void run(const std::string& text) {
+    enum class State {
+      kNormal,
+      kLineComment,
+      kBlockComment,
+      kString,
+      kChar,
+      kRawString,
+    };
+    State state = State::kNormal;
+    std::string raw_delim;  // for kRawString: the ")delim" terminator
+    bool preprocessor = false;
+    bool continuation = false;  // previous line ended with backslash
+
+    std::string cur_code;
+    std::string cur_comment;
+    auto flush_line = [&] {
+      continuation = !cur_code.empty() && cur_code.back() == '\\';
+      code.push_back(std::move(cur_code));
+      comment.push_back(std::move(cur_comment));
+      cur_code.clear();
+      cur_comment.clear();
+    };
+
+    const std::size_t n = text.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const char c = text[i];
+      const char next = i + 1 < n ? text[i + 1] : '\0';
+      if (c == '\n') {
+        if (state == State::kLineComment) state = State::kNormal;
+        // Unterminated string/char at end of line: reset rather than
+        // poison the rest of the file (the compiler rejects it anyway).
+        if (state == State::kString || state == State::kChar) {
+          state = State::kNormal;
+        }
+        flush_line();
+        preprocessor = false;
+        continue;
+      }
+      switch (state) {
+        case State::kNormal: {
+          if (cur_code.empty() && !continuation) {
+            preprocessor = false;  // recomputed as the line fills in
+          }
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            ++i;
+            continue;
+          }
+          if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+            continue;
+          }
+          if (c == 'R' && next == '"' &&
+              (cur_code.empty() || !ident_char(cur_code.back()))) {
+            // Raw string R"delim( ... )delim"
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && text[j] != '(' && text[j] != '\n') {
+              delim.push_back(text[j++]);
+            }
+            raw_delim = ")" + delim + "\"";
+            cur_code += "\"\"";
+            state = State::kRawString;
+            i = j;  // at '(' (or newline, handled next iteration)
+            continue;
+          }
+          if (c == '"') {
+            preprocessor = starts_preprocessor(cur_code) || continuation;
+            cur_code.push_back('"');
+            if (preprocessor) {
+              // Keep include paths readable on preprocessor lines.
+              std::size_t j = i + 1;
+              while (j < n && text[j] != '"' && text[j] != '\n') {
+                cur_code.push_back(text[j++]);
+              }
+              if (j < n && text[j] == '"') {
+                cur_code.push_back('"');
+                i = j;
+                continue;
+              }
+              i = j - 1;  // newline handles state
+              continue;
+            }
+            state = State::kString;
+            continue;
+          }
+          if (c == '\'') {
+            // Digit separator (1'000) is not a char literal.
+            const bool sep =
+                !cur_code.empty() &&
+                std::isalnum(static_cast<unsigned char>(cur_code.back())) !=
+                    0 &&
+                std::isalnum(static_cast<unsigned char>(next)) != 0;
+            if (sep) {
+              continue;  // drop the separator, keep lexing the number
+            }
+            cur_code.push_back('\'');
+            state = State::kChar;
+            continue;
+          }
+          cur_code.push_back(c);
+          break;
+        }
+        case State::kLineComment:
+          cur_comment.push_back(c);
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kNormal;
+            ++i;
+          } else {
+            cur_comment.push_back(c);
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;  // skip the escaped character
+          } else if (c == '"') {
+            cur_code.push_back('"');
+            state = State::kNormal;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            cur_code.push_back('\'');
+            state = State::kNormal;
+          }
+          break;
+        case State::kRawString:
+          if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
+            i += raw_delim.size() - 1;
+            state = State::kNormal;
+          }
+          break;
+      }
+    }
+    flush_line();  // last line (files without trailing newline)
+  }
+};
+
+void tokenize(const std::vector<std::string>& code_lines,
+              std::vector<Token>& out) {
+  bool preprocessor = false;
+  for (std::size_t li = 0; li < code_lines.size(); ++li) {
+    const std::string& line = code_lines[li];
+    const bool continued = preprocessor;  // previous line ended with '\'
+    preprocessor =
+        (starts_preprocessor(line) || continued) &&
+        !line.empty() && line.back() == '\\';
+    if (starts_preprocessor(line) || continued) continue;
+    const std::size_t ln = li + 1;
+    for (std::size_t i = 0; i < line.size();) {
+      const char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (ident_char(c) && std::isdigit(static_cast<unsigned char>(c)) == 0) {
+        std::size_t j = i;
+        while (j < line.size() && ident_char(line[j])) ++j;
+        out.push_back({TokKind::kIdent, line.substr(i, j - i), ln});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        std::size_t j = i;
+        while (j < line.size() &&
+               (ident_char(line[j]) || line[j] == '.')) {
+          ++j;
+        }
+        out.push_back({TokKind::kNumber, line.substr(i, j - i), ln});
+        i = j;
+        continue;
+      }
+      // Multi-char punctuators the rules care about.
+      if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
+        out.push_back({TokKind::kPunct, "::", ln});
+        i += 2;
+        continue;
+      }
+      if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+        out.push_back({TokKind::kPunct, "->", ln});
+        i += 2;
+        continue;
+      }
+      out.push_back({TokKind::kPunct, std::string(1, c), ln});
+      ++i;
+    }
+  }
+}
+
+void extract_includes(const std::vector<std::string>& code_lines,
+                      std::vector<SourceFile::Include>& out) {
+  for (std::size_t li = 0; li < code_lines.size(); ++li) {
+    const std::string& line = code_lines[li];
+    std::size_t p = line.find_first_not_of(" \t");
+    if (p == std::string::npos || line[p] != '#') continue;
+    p = line.find_first_not_of(" \t", p + 1);
+    if (p == std::string::npos || line.compare(p, 7, "include") != 0) {
+      continue;
+    }
+    const std::size_t open = line.find('"', p + 7);
+    if (open == std::string::npos) continue;  // <...> system include
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    out.push_back({line.substr(open + 1, close - open - 1), li + 1});
+  }
+}
+
+void extract_suppressions(const std::vector<std::string>& comment_lines,
+                          std::vector<SuppressionNote>& out) {
+  for (std::size_t li = 0; li < comment_lines.size(); ++li) {
+    const std::string& text = comment_lines[li];
+    const std::size_t at = text.find("zh-lint-ignore");
+    if (at == std::string::npos) continue;
+    SuppressionNote note;
+    note.line = li + 1;
+    std::size_t p = at + std::string("zh-lint-ignore").size();
+    while (p < text.size() && text[p] == ' ') ++p;
+    if (p < text.size() && text[p] == '(') {
+      const std::size_t close = text.find(')', p);
+      if (close != std::string::npos) {
+        note.rule = text.substr(p + 1, close - p - 1);
+        p = close + 1;
+      }
+    }
+    // Reason: non-empty text after a ':' following the rule list.
+    const std::size_t colon = text.find(':', p);
+    if (colon != std::string::npos) {
+      note.has_reason =
+          text.find_first_not_of(" \t", colon + 1) != std::string::npos;
+    }
+    out.push_back(std::move(note));
+  }
+}
+
+}  // namespace
+
+SourceFile lex_file(const std::filesystem::path& abs, std::string rel) {
+  std::ifstream in(abs, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("zh-lint: cannot read " + abs.string());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  SourceFile f;
+  f.rel = std::move(rel);
+  f.is_header = f.rel.size() >= 4 &&
+                f.rel.compare(f.rel.size() - 4, 4, ".hpp") == 0;
+  // Module = first path component under src/ when the file sits in a
+  // module directory; src/zh.hpp and files outside src/ get "".
+  if (f.rel.rfind("src/", 0) == 0) {
+    const std::size_t slash = f.rel.find('/', 4);
+    if (slash != std::string::npos) {
+      f.module_name = f.rel.substr(4, slash - 4);
+    }
+  }
+
+  Stripper s;
+  s.run(text);
+  f.code_lines = std::move(s.code);
+  f.comment_lines = std::move(s.comment);
+  tokenize(f.code_lines, f.tokens);
+  extract_includes(f.code_lines, f.includes);
+  extract_suppressions(f.comment_lines, f.suppressions);
+  return f;
+}
+
+}  // namespace zh::lint

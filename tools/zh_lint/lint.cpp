@@ -1,0 +1,234 @@
+// zh-lint driver: walk the tree, lex, run rules, apply and audit
+// suppressions, render the JSON report.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "lint.hpp"
+
+namespace zh::lint {
+namespace {
+
+const char* kSuppressionRule = "suppression-audit";
+
+struct RuleDoc {
+  const char* id;
+  const char* doc;
+};
+
+constexpr RuleDoc kRules[] = {
+    {"layering",
+     "src/ modules may include only strictly lower layers of the DAG "
+     "documented in DESIGN.md §7"},
+    {"include-cycle", "no file-level include cycles within src/"},
+    {"discarded-status",
+     "Status-returning comm calls must not be discarded (or (void)-cast)"},
+    {"index-width",
+     "cell/tile index products must not be computed in 32-bit arithmetic"},
+    {"naked-new", "no naked new/delete in src/; ownership is RAII"},
+    {"raw-mutex-lock",
+     "no manual mutex .lock()/.unlock() in src/; use lock_guard/unique_lock"},
+    {"stdio-in-lib",
+     "no printf/cout/stderr writes in src/; tools and bench own the "
+     "terminal"},
+    {"switch-enum",
+     "switches over project enums are exhaustive or carry a default"},
+    {"pragma-once", "every src/ header carries #pragma once"},
+    {"suppression-audit",
+     "zh-lint-ignore comments must name a rule, give a reason, and still "
+     "suppress something"},
+    {"nolint-audit",
+     "clang-tidy NOLINT comments must be scoped (check-id) and justified"},
+};
+
+bool skip_dir(const std::string& name) {
+  return name == "lint_fixtures" || name.rfind("build", 0) == 0 ||
+         (!name.empty() && name[0] == '.');
+}
+
+std::vector<SourceFile> collect(const std::filesystem::path& root) {
+  namespace fs = std::filesystem;
+  const fs::path src = root / "src";
+  std::vector<fs::path> paths;
+  if (fs::exists(src)) {
+    fs::recursive_directory_iterator it(src), end;
+    while (it != end) {
+      if (it->is_directory() && skip_dir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+        ++it;
+        continue;
+      }
+      if (it->is_regular_file()) {
+        const std::string ext = it->path().extension().string();
+        if (ext == ".hpp" || ext == ".cpp") paths.push_back(it->path());
+      }
+      ++it;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    std::string rel = fs::relative(p, root).generic_string();
+    files.push_back(lex_file(p, std::move(rel)));
+  }
+  return files;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> ids = [] {
+    std::vector<std::string> v;
+    for (const RuleDoc& r : kRules) v.emplace_back(r.id);
+    return v;
+  }();
+  return ids;
+}
+
+std::string rule_description(const std::string& id) {
+  for (const RuleDoc& r : kRules) {
+    if (id == r.id) return r.doc;
+  }
+  return "";
+}
+
+LintResult run_lint(const std::filesystem::path& root) {
+  const std::vector<SourceFile> files = collect(root);
+
+  std::vector<Finding> raw;
+  detail::rule_layering(files, raw);
+  detail::rule_include_cycle(files, raw);
+  detail::rule_switch_enum(files, raw);
+  for (const SourceFile& f : files) {
+    detail::rule_discarded_status(f, raw);
+    detail::rule_index_width(f, raw);
+    detail::rule_naked_new(f, raw);
+    detail::rule_raw_mutex_lock(f, raw);
+    detail::rule_stdio_in_lib(f, raw);
+    detail::rule_pragma_once(f, raw);
+    detail::rule_nolint_audit(f, raw);
+  }
+
+  // Apply suppressions: `// zh-lint-ignore(rule): reason` silences that
+  // rule on its own line and on the line directly below (so a
+  // comment-only line annotates the statement under it). The
+  // suppression-audit rule itself is not suppressible.
+  LintResult result;
+  result.files_scanned = files.size();
+  std::map<std::string, std::vector<SuppressionNote>> notes;
+  for (const SourceFile& f : files) notes[f.rel] = f.suppressions;
+  for (Finding& fd : raw) {
+    bool suppressed = false;
+    auto it = notes.find(fd.file);
+    if (it != notes.end()) {
+      for (SuppressionNote& n : it->second) {
+        if (n.rule == fd.rule &&
+            (n.line == fd.line || n.line + 1 == fd.line)) {
+          n.used = true;
+          suppressed = true;
+        }
+      }
+    }
+    if (!suppressed) result.findings.push_back(std::move(fd));
+  }
+
+  // Audit the suppression set.
+  const std::set<std::string> known(rule_ids().begin(), rule_ids().end());
+  for (auto& [file, file_notes] : notes) {
+    for (const SuppressionNote& n : file_notes) {
+      if (n.rule.empty()) {
+        result.findings.push_back(
+            {file, n.line, kSuppressionRule,
+             "zh-lint-ignore must name a rule: zh-lint-ignore(rule-id): "
+             "reason"});
+        continue;
+      }
+      if (known.count(n.rule) == 0) {
+        result.findings.push_back({file, n.line, kSuppressionRule,
+                                   "zh-lint-ignore names unknown rule '" +
+                                       n.rule + "'"});
+        continue;
+      }
+      if (!n.has_reason) {
+        result.findings.push_back(
+            {file, n.line, kSuppressionRule,
+             "zh-lint-ignore(" + n.rule +
+                 ") has no reason; a suppression documents *why* the site "
+                 "is exempt"});
+      }
+      if (!n.used) {
+        result.findings.push_back(
+            {file, n.line, kSuppressionRule,
+             "stale suppression: no '" + n.rule +
+                 "' finding on this or the next line -- delete it"});
+      } else {
+        ++result.suppressions_used;
+      }
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+
+  std::map<std::string, std::size_t> counts;
+  for (const Finding& fd : result.findings) ++counts[fd.rule];
+  for (const std::string& id : rule_ids()) {
+    result.per_rule.push_back({id, counts[id]});
+  }
+  return result;
+}
+
+std::string report_json(const LintResult& result, const std::string& root) {
+  std::ostringstream out;
+  out << "{\"schema\":\"zh-lint-report-v1\",\"tool\":\"zh-lint\",\"root\":\""
+      << json_escape(root) << "\",\"files_scanned\":" << result.files_scanned
+      << ",\"findings_total\":" << result.findings.size()
+      << ",\"suppressions_used\":" << result.suppressions_used
+      << ",\"rules\":[";
+  for (std::size_t i = 0; i < result.per_rule.size(); ++i) {
+    if (i) out << ",";
+    out << "{\"id\":\"" << json_escape(result.per_rule[i].rule)
+        << "\",\"findings\":" << result.per_rule[i].findings << "}";
+  }
+  out << "],\"findings\":[";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    if (i) out << ",";
+    out << "{\"file\":\"" << json_escape(f.file) << "\",\"line\":" << f.line
+        << ",\"rule\":\"" << json_escape(f.rule) << "\",\"message\":\""
+        << json_escape(f.message) << "\"}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+}  // namespace zh::lint

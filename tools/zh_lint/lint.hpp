@@ -1,0 +1,128 @@
+// zh-lint: project-specific static analyzer for the zonalhist tree.
+//
+// Generic tooling (clang-tidy, -Wall -Werror, the sanitizer matrix) checks
+// language-level properties; zh-lint checks *project* invariants that no
+// compiler knows about: the module layering DAG, Status/Deadline error
+// discipline in the fault-tolerant comm layer, the 64-bit cell/tile index
+// convention, and a handful of hygiene rules (no naked new, no raw mutex
+// lock, no stdio in library code, exhaustive switches over project enums,
+// self-contained headers). It is a lightweight lexer + include-graph
+// extractor -- deliberately no libclang dependency, so it builds and runs
+// everywhere the project does.
+//
+// Findings print one-per-line as `file:line: rule-id: message` (matching
+// the GitHub problem-matcher in .github/zh-lint-matcher.json) plus an
+// optional JSON report in the zh-run-report style (`zh-lint-report-v1`).
+//
+// Any finding can be suppressed with a comment on the same line or the
+// line directly above:
+//
+//   // zh-lint-ignore(rule-id): reason why this site is intentional
+//
+// Suppressions are themselves audited: a suppression without a reason, a
+// suppression naming an unknown rule, and a suppression that no longer
+// suppresses anything ("stale") are all findings, so the suppression set
+// can only shrink alongside the violations it documents.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace zh::lint {
+
+/// One diagnostic. `file` is '/'-separated and relative to the scanned
+/// root (e.g. "src/common/error.hpp") so CI annotations resolve.
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+/// Token of the comment/string-stripped source (see lexer.cpp).
+enum class TokKind : std::uint8_t { kIdent, kNumber, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::size_t line;  ///< 1-based
+};
+
+/// One `zh-lint-ignore(...)` comment found in a file.
+struct SuppressionNote {
+  std::size_t line = 0;    ///< line the comment sits on
+  std::string rule;        ///< empty when the comment names no rule
+  bool has_reason = false; ///< `: reason` text present after the rule
+  bool used = false;       ///< set when it actually suppressed a finding
+};
+
+/// A scanned translation unit or header, lexed once and shared by every
+/// rule. Preprocessor lines are kept in `code_lines` (pragma/include
+/// checks) but excluded from `tokens` (statement-shaped rules).
+struct SourceFile {
+  std::string rel;          ///< path relative to root, '/'-separated
+  std::string module_name;  ///< "common", "core", ...; "" for src/zh.hpp
+  bool is_header = false;
+  std::vector<std::string> code_lines;     ///< [0] is line 1; stripped
+  std::vector<std::string> comment_lines;  ///< comment text per line
+  std::vector<Token> tokens;               ///< stripped, non-preprocessor
+  struct Include {
+    std::string path;  ///< quoted include target, verbatim
+    std::size_t line;
+  };
+  std::vector<Include> includes;  ///< project (quoted) includes only
+  std::vector<SuppressionNote> suppressions;
+};
+
+struct RuleCount {
+  std::string rule;
+  std::size_t findings = 0;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;  ///< post-suppression, sorted
+  std::vector<RuleCount> per_rule;
+  std::size_t files_scanned = 0;
+  std::size_t suppressions_used = 0;
+};
+
+/// Every rule id, in reporting order.
+const std::vector<std::string>& rule_ids();
+
+/// One-line description of a rule id (for --list-rules).
+std::string rule_description(const std::string& id);
+
+/// Lex one file into a SourceFile. `rel` must be '/'-separated relative
+/// to the scanned root. Exposed for tests.
+SourceFile lex_file(const std::filesystem::path& abs, std::string rel);
+
+/// Run every rule over `root` (a repo-style tree containing `src/`).
+/// Throws zh-lint's own std::runtime_error on unreadable inputs.
+LintResult run_lint(const std::filesystem::path& root);
+
+/// Machine-readable report mirroring the zh-run-report-v1 shape.
+std::string report_json(const LintResult& result, const std::string& root);
+
+namespace detail {
+/// Rule implementations (rules.cpp); each appends raw findings.
+void rule_layering(const std::vector<SourceFile>& files,
+                   std::vector<Finding>& out);
+void rule_include_cycle(const std::vector<SourceFile>& files,
+                        std::vector<Finding>& out);
+void rule_discarded_status(const SourceFile& f, std::vector<Finding>& out);
+void rule_index_width(const SourceFile& f, std::vector<Finding>& out);
+void rule_naked_new(const SourceFile& f, std::vector<Finding>& out);
+void rule_raw_mutex_lock(const SourceFile& f, std::vector<Finding>& out);
+void rule_stdio_in_lib(const SourceFile& f, std::vector<Finding>& out);
+void rule_switch_enum(const std::vector<SourceFile>& files,
+                      std::vector<Finding>& out);
+void rule_pragma_once(const SourceFile& f, std::vector<Finding>& out);
+void rule_nolint_audit(const SourceFile& f, std::vector<Finding>& out);
+}  // namespace detail
+
+}  // namespace zh::lint

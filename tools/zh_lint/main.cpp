@@ -1,0 +1,96 @@
+// zh-lint CLI.
+//
+//   zh-lint <repo-root> [--json <path>] [--list-rules]
+//
+// Prints findings one-per-line as `file:line: rule-id: message` (the
+// format .github/zh-lint-matcher.json turns into GitHub annotations) and
+// exits 0 when the tree is clean, 1 when there are findings, 2 on usage
+// or I/O errors.
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: zh-lint <repo-root> [--json <path>] [--list-rules]\n"
+               "  <repo-root>   tree containing src/ (rules are scoped to "
+               "src/)\n"
+               "  --json PATH   also write a zh-lint-report-v1 JSON report\n"
+               "  --list-rules  print every rule id with its contract\n");
+  return to == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string json_path;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(stdout);
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) return usage(stderr);
+      json_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "zh-lint: unknown option '%s'\n", arg.c_str());
+      return usage(stderr);
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      return usage(stderr);
+    }
+  }
+  if (list_rules) {
+    for (const std::string& id : zh::lint::rule_ids()) {
+      std::printf("%-18s %s\n", id.c_str(),
+                  zh::lint::rule_description(id).c_str());
+    }
+    return 0;
+  }
+  if (root.empty()) return usage(stderr);
+  // A missing root (e.g. a typo'd CI path) must fail loudly, not pass as
+  // a 0-file "clean" tree.
+  if (std::error_code ec;
+      !std::filesystem::is_directory(std::filesystem::path(root) / "src",
+                                     ec)) {
+    std::fprintf(stderr, "zh-lint: '%s' has no src/ directory to scan\n",
+                 root.c_str());
+    return 2;
+  }
+
+  try {
+    const zh::lint::LintResult result = zh::lint::run_lint(root);
+    for (const zh::lint::Finding& f : result.findings) {
+      std::printf("%s:%zu: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    if (!json_path.empty()) {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "zh-lint: cannot write %s\n", json_path.c_str());
+        return 2;
+      }
+      out << zh::lint::report_json(result, root);
+    }
+    std::fprintf(stderr,
+                 "zh-lint: %zu finding%s in %zu files "
+                 "(%zu suppression%s honoured)\n",
+                 result.findings.size(),
+                 result.findings.size() == 1 ? "" : "s", result.files_scanned,
+                 result.suppressions_used,
+                 result.suppressions_used == 1 ? "" : "s");
+    return result.findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "zh-lint: %s\n", e.what());
+    return 2;
+  }
+}

@@ -274,13 +274,25 @@ class Cluster {
   }
 
   /// Visit a crash checkpoint; throws RankCrash on the scripted visit.
+  /// A scripted process abort (AbortSpec) fires first: its occurrences
+  /// count process-wide visits of the point across all ranks, modelling
+  /// whole-node death rather than one rank going silent.
   void checkpoint(RankId rank, CrashPoint point) {
     const CrashSpec& crash = options_.faults.crash;
-    if (crash.point == CrashPoint::kNone) return;
+    const AbortSpec& abort = options_.faults.abort;
+    if (crash.point == CrashPoint::kNone &&
+        abort.point == CrashPoint::kNone) {
+      return;
+    }
     std::uint32_t occurrence = 0;
+    std::uint32_t abort_occurrence = 0;
     {
       std::lock_guard lock(checkpoint_mutex_);
       occurrence = checkpoint_visits_[{rank, point}]++;
+      if (abort.point == point) abort_occurrence = abort_visits_[point]++;
+    }
+    if (abort.point == point && abort.occurrence == abort_occurrence) {
+      hard_exit(point, abort_occurrence);
     }
     if (crash.rank == rank && crash.point == point &&
         crash.occurrence == occurrence) {
@@ -344,6 +356,9 @@ class Cluster {
 
   std::mutex checkpoint_mutex_;
   std::map<std::pair<RankId, CrashPoint>, std::uint32_t> checkpoint_visits_;
+  /// Process-wide visit counts per point (AbortSpec occurrences), also
+  /// guarded by checkpoint_mutex_.
+  std::map<CrashPoint, std::uint32_t> abort_visits_;
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
@@ -351,6 +366,22 @@ class Cluster {
   std::uint64_t barrier_generation_;
   std::size_t dead_count_ = 0;  ///< guarded by barrier_mutex_
 };
+
+std::int64_t decorrelated_backoff_ms(std::uint64_t seed, RankId receiver,
+                                     RankId src, int tag,
+                                     std::uint32_t attempt,
+                                     std::int64_t base_ms,
+                                     std::int64_t prev_ms) {
+  const std::int64_t lo = std::max<std::int64_t>(base_ms, 1);
+  const std::int64_t hi = std::max(lo, 3 * std::max(prev_ms, lo));
+  std::uint64_t h = splitmix64(seed ^ 0x6A09E667F3BCC909ull);
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(receiver) << 32 | src));
+  h = splitmix64(h ^
+                 static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)));
+  h = splitmix64(h ^ attempt);
+  return lo + static_cast<std::int64_t>(
+                  h % static_cast<std::uint64_t>(hi - lo + 1));
+}
 
 std::size_t Communicator::size() const { return cluster_->size(); }
 
@@ -405,8 +436,17 @@ Status Communicator::recv_bytes(RankId src, int tag, Deadline deadline,
     const std::size_t recovered = cluster_->recover_lost(rank_, src, tag);
     static_cast<void>(recovered);  // counted only when obs is compiled in
     ZH_COUNTER_ADD("comm.msgs_recovered", recovered);
-    attempt_ms = static_cast<std::int64_t>(
-        static_cast<double>(attempt_ms) * retry.backoff);
+    // Next attempt budget: decorrelated jitter by default so receivers
+    // that timed out together spread their re-attempts instead of
+    // hammering in lockstep; the plain exponential ladder when disabled.
+    if (retry.jitter) {
+      attempt_ms = decorrelated_backoff_ms(
+          cluster_->options().faults.seed, rank_, src, tag, attempt,
+          retry.initial_timeout_ms, attempt_ms);
+    } else {
+      attempt_ms = static_cast<std::int64_t>(
+          static_cast<double>(attempt_ms) * retry.backoff);
+    }
   }
   return cluster_->await(rank_, src, tag, deadline, out);
 }

@@ -49,8 +49,26 @@ class Cluster;
 struct RetryPolicy {
   std::uint32_t max_attempts = 4;
   std::int64_t initial_timeout_ms = 50;
-  double backoff = 2.0;  ///< attempt budget multiplier
+  double backoff = 2.0;  ///< attempt budget multiplier (jitter off)
+  /// Decorrelate retry slices across receivers: each re-attempt budget is
+  /// a deterministic draw in [initial, 3 * previous] keyed by the fault
+  /// seed and the (receiver, sender, tag, attempt) identity, so a mass
+  /// timeout does not re-synchronize every waiter onto the same schedule
+  /// (retry storms) yet replays stay bit-reproducible per seed. Off, the
+  /// slices follow the plain `previous * backoff` ladder.
+  bool jitter = true;
 };
+
+/// The decorrelated-jitter backoff draw used by Communicator::recv_bytes:
+/// uniform in [base_ms, max(base_ms, 3 * prev_ms)], a pure splitmix64
+/// function of its arguments (same seed => same schedule). Exposed for
+/// tests pinning determinism and bounds.
+[[nodiscard]] std::int64_t decorrelated_backoff_ms(std::uint64_t seed,
+                                                   RankId receiver, RankId src,
+                                                   int tag,
+                                                   std::uint32_t attempt,
+                                                   std::int64_t base_ms,
+                                                   std::int64_t prev_ms);
 
 /// Knobs of one run_cluster invocation.
 struct ClusterOptions {

@@ -1,6 +1,7 @@
 #include "cluster/fault.hpp"
 
 #include <array>
+#include <cstdio>
 #include <cstdlib>
 #include <vector>
 
@@ -8,85 +9,135 @@ namespace zh {
 
 namespace {
 
-/// splitmix64: tiny, high-quality 64-bit mixer. Keyed per decision so
-/// drop/dup/reorder/delay draws are independent streams.
-std::uint64_t mix64(std::uint64_t x) {
+/// Uniform draw in [0, 1) keyed by (plan seed, message identity, stream).
+double draw(const FaultPlan& plan, RankId src, RankId dst, int tag,
+            std::uint64_t index, std::uint64_t stream) {
+  std::uint64_t h = splitmix64(plan.seed ^ (stream * 0xA24BAED4963EE407ull));
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(src) << 32 | dst));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)));
+  h = splitmix64(h ^ index);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::array<std::pair<std::string_view, CrashPoint>, 7> kPointNames{
+    {{"none", CrashPoint::kNone},
+     {"startup", CrashPoint::kStartup},
+     {"partition_start", CrashPoint::kPartitionStart},
+     {"partition_done", CrashPoint::kPartitionDone},
+     {"result_sent", CrashPoint::kResultSent},
+     {"before_finish", CrashPoint::kBeforeFinish},
+     {"journal_record", CrashPoint::kJournalRecord}}};
+
+/// All parse failures funnel through here so every message has the same
+/// shape -- problem, byte offset, full spec, grammar -- and tests can pin
+/// the exact text (no __FILE__:__LINE__ noise).
+[[noreturn]] void parse_fail(std::string_view spec, std::size_t offset,
+                             std::string_view problem) {
+  throw InvalidArgument(detail::format_parts(
+      "fault plan: ", problem, " at byte ", offset, " of '", spec, "' (",
+      FaultPlan::kGrammar, ")"));
+}
+
+double parse_prob(std::string_view spec, std::size_t offset,
+                  std::string_view key, std::string_view value) {
+  const std::string v(value);
+  char* end = nullptr;
+  const double p = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size() || p < 0.0 || p > 1.0) {
+    parse_fail(spec, offset,
+               detail::format_parts("key '", key, "' needs a probability in "
+                                    "[0,1], got '", value, "'"));
+  }
+  return p;
+}
+
+std::uint64_t parse_u64(std::string_view spec, std::size_t offset,
+                        std::string_view key, std::string_view value) {
+  const std::string v(value);
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size()) {
+    parse_fail(spec, offset,
+               detail::format_parts("key '", key, "' needs a non-negative "
+                                    "integer, got '", value, "'"));
+  }
+  return n;
+}
+
+CrashPoint parse_point(std::string_view spec, std::size_t offset,
+                       std::string_view name) {
+  for (const auto& [n, point] : kPointNames) {
+    if (name == n) return point;
+  }
+  parse_fail(spec, offset,
+             detail::format_parts("unknown crash point '", name, "'"));
+}
+
+CrashSpec parse_crash(std::string_view spec, std::size_t offset,
+                      std::string_view value) {
+  const auto at = value.find('@');
+  if (at == std::string_view::npos) {
+    parse_fail(spec, offset,
+               detail::format_parts("key 'crash' needs "
+                                    "<rank>@<point>[#<occurrence>], got '",
+                                    value, "'"));
+  }
+  CrashSpec out;
+  out.rank = static_cast<RankId>(
+      parse_u64(spec, offset, "crash", value.substr(0, at)));
+  std::string_view rest = value.substr(at + 1);
+  const auto hash = rest.find('#');
+  if (hash != std::string_view::npos) {
+    out.occurrence = static_cast<std::uint32_t>(
+        parse_u64(spec, offset + at + 1 + hash + 1, "crash occurrence",
+                  rest.substr(hash + 1)));
+    rest = rest.substr(0, hash);
+  }
+  out.point = parse_point(spec, offset + at + 1, rest);
+  return out;
+}
+
+AbortSpec parse_abort(std::string_view spec, std::size_t offset,
+                      std::string_view value) {
+  AbortSpec out;
+  std::string_view rest = value;
+  const auto hash = rest.find('#');
+  if (hash != std::string_view::npos) {
+    out.occurrence = static_cast<std::uint32_t>(
+        parse_u64(spec, offset + hash + 1, "abort occurrence",
+                  rest.substr(hash + 1)));
+    rest = rest.substr(0, hash);
+  }
+  out.point = parse_point(spec, offset, rest);
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   return x ^ (x >> 31);
 }
 
-/// Uniform draw in [0, 1) keyed by (plan seed, message identity, stream).
-double draw(const FaultPlan& plan, RankId src, RankId dst, int tag,
-            std::uint64_t index, std::uint64_t stream) {
-  std::uint64_t h = mix64(plan.seed ^ (stream * 0xA24BAED4963EE407ull));
-  h = mix64(h ^ (static_cast<std::uint64_t>(src) << 32 | dst));
-  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)));
-  h = mix64(h ^ index);
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
-}
-
-constexpr std::array<std::pair<std::string_view, CrashPoint>, 6> kPointNames{
-    {{"none", CrashPoint::kNone},
-     {"startup", CrashPoint::kStartup},
-     {"partition_start", CrashPoint::kPartitionStart},
-     {"partition_done", CrashPoint::kPartitionDone},
-     {"result_sent", CrashPoint::kResultSent},
-     {"before_finish", CrashPoint::kBeforeFinish}}};
-
-double parse_prob(std::string_view key, std::string_view value) {
-  const std::string v(value);
-  char* end = nullptr;
-  const double p = std::strtod(v.c_str(), &end);
-  ZH_REQUIRE(end == v.c_str() + v.size() && p >= 0.0 && p <= 1.0,
-             "fault plan: '", key, "' must be a probability in [0,1], got '",
-             value, "'");
-  return p;
-}
-
-std::uint64_t parse_u64(std::string_view key, std::string_view value) {
-  const std::string v(value);
-  char* end = nullptr;
-  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
-  ZH_REQUIRE(end == v.c_str() + v.size() && !v.empty(), "fault plan: '", key,
-             "' must be a non-negative integer, got '", value, "'");
-  return n;
-}
-
-CrashSpec parse_crash(std::string_view value) {
-  const auto at = value.find('@');
-  ZH_REQUIRE(at != std::string_view::npos,
-             "fault plan: crash spec must be <rank>@<point>[#occurrence], "
-             "got '", value, "'");
-  CrashSpec spec;
-  spec.rank = static_cast<RankId>(parse_u64("crash", value.substr(0, at)));
-  std::string_view rest = value.substr(at + 1);
-  const auto hash = rest.find('#');
-  if (hash != std::string_view::npos) {
-    spec.occurrence = static_cast<std::uint32_t>(
-        parse_u64("crash occurrence", rest.substr(hash + 1)));
-    rest = rest.substr(0, hash);
-  }
-  for (const auto& [name, point] : kPointNames) {
-    if (rest == name) {
-      spec.point = point;
-      return spec;
-    }
-  }
-  throw InvalidArgument(detail::format_parts(
-      "fault plan: unknown crash point '", rest,
-      "' (expected startup, partition_start, partition_done, result_sent, "
-      "or before_finish)"));
-}
-
-}  // namespace
-
 std::string_view to_string(CrashPoint point) {
   for (const auto& [name, p] : kPointNames) {
     if (p == point) return name;
   }
   return "unknown";
+}
+
+void hard_exit(CrashPoint point, std::uint32_t occurrence) {
+  const std::string_view name = to_string(point);
+  // A simulated node death must not unwind, flush containers, or run
+  // atexit handlers -- durable state is exactly the fsync'd bytes. The
+  // one-line epitaph lets the kill/resume harness confirm the abort
+  // fired (stderr is unbuffered, so it survives _Exit).
+  // zh-lint-ignore(stdio-in-lib): abort-fault epitaph; the kill/resume harness reads stderr
+  std::fprintf(stderr, "zh: scripted process abort at %.*s #%u\n",
+               static_cast<int>(name.size()), name.data(), occurrence);
+  std::_Exit(kAbortExitCode);
 }
 
 RankCrash::RankCrash(RankId rank, CrashPoint point, std::uint32_t occurrence)
@@ -124,31 +175,37 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
     auto comma = spec.find(',', pos);
     if (comma == std::string_view::npos) comma = spec.size();
     const std::string_view item = spec.substr(pos, comma - pos);
+    const std::size_t item_off = pos;
     pos = comma + 1;
     if (item.empty()) continue;
     const auto eq = item.find('=');
-    ZH_REQUIRE(eq != std::string_view::npos,
-               "fault plan: expected key=value, got '", item, "'");
+    if (eq == std::string_view::npos) {
+      parse_fail(spec, item_off,
+                 detail::format_parts("expected key=value, got '", item, "'"));
+    }
     const std::string_view key = item.substr(0, eq);
     const std::string_view value = item.substr(eq + 1);
+    const std::size_t value_off = item_off + eq + 1;
     if (key == "seed") {
-      plan.seed = parse_u64(key, value);
+      plan.seed = parse_u64(spec, value_off, key, value);
     } else if (key == "drop") {
-      plan.drop_prob = parse_prob(key, value);
+      plan.drop_prob = parse_prob(spec, value_off, key, value);
     } else if (key == "dup") {
-      plan.duplicate_prob = parse_prob(key, value);
+      plan.duplicate_prob = parse_prob(spec, value_off, key, value);
     } else if (key == "reorder") {
-      plan.reorder_prob = parse_prob(key, value);
+      plan.reorder_prob = parse_prob(spec, value_off, key, value);
     } else if (key == "delay") {
-      plan.delay_prob = parse_prob(key, value);
+      plan.delay_prob = parse_prob(spec, value_off, key, value);
     } else if (key == "delay_ms") {
-      plan.delay_ms = static_cast<std::uint32_t>(parse_u64(key, value));
+      plan.delay_ms =
+          static_cast<std::uint32_t>(parse_u64(spec, value_off, key, value));
     } else if (key == "crash") {
-      plan.crash = parse_crash(value);
+      plan.crash = parse_crash(spec, value_off, value);
+    } else if (key == "abort") {
+      plan.abort = parse_abort(spec, value_off, value);
     } else {
-      throw InvalidArgument(detail::format_parts(
-          "fault plan: unknown key '", key,
-          "' (expected seed, drop, dup, reorder, delay, delay_ms, crash)"));
+      parse_fail(spec, item_off,
+                 detail::format_parts("unknown key '", key, "'"));
     }
   }
   return plan;

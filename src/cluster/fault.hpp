@@ -21,7 +21,8 @@
 namespace zh {
 
 /// Pipeline checkpoints at which a scripted crash can fire. The cluster
-/// driver visits these in order for every partition it processes.
+/// driver visits these in order for every partition it processes; the
+/// journal writer visits kJournalRecord once per record it appends.
 enum class CrashPoint : std::uint8_t {
   kNone = 0,
   kStartup,         ///< before any partition work on the rank
@@ -29,10 +30,26 @@ enum class CrashPoint : std::uint8_t {
   kPartitionDone,   ///< after computing, before sending the result
   kResultSent,      ///< after the per-partition result left the rank
   kBeforeFinish,    ///< before the final completion handshake
+  kJournalRecord,   ///< mid-append of a checkpoint journal record
 };
 
 /// Human-readable checkpoint name ("partition_done", ...).
 [[nodiscard]] std::string_view to_string(CrashPoint point);
+
+/// splitmix64: tiny, high-quality 64-bit mixer. Every deterministic
+/// fault/jitter decision in the cluster layer chains through it, so a
+/// replay with the same seed reproduces the same schedule.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x);
+
+/// Exit code of a scripted process abort (`abort=<point>#<occurrence>`),
+/// distinct from ordinary failure exits so harnesses can tell a planned
+/// kill from a genuine error.
+inline constexpr int kAbortExitCode = 43;
+
+/// Terminate the process immediately -- no destructors, no atexit, no
+/// stream flushes -- simulating SIGKILL/OOM-kill for the checkpoint
+/// kill/resume harness. Durable state is exactly what was fsync'd.
+[[noreturn]] void hard_exit(CrashPoint point, std::uint32_t occurrence);
 
 /// Thrown inside a rank to simulate node loss. run_cluster treats it as
 /// rank death (the rank goes silent; survivors keep running) when
@@ -70,6 +87,16 @@ struct CrashSpec {
   std::uint32_t occurrence = 0;
 };
 
+/// Scripted whole-process abort: hard_exit() at the `occurrence`-th
+/// process-wide visit (0-based, counted across all ranks) of checkpoint
+/// `point`. Unlike CrashSpec -- which kills one in-process rank and lets
+/// survivors recover -- this models node death: the run can only continue
+/// by restarting the process and resuming from the durable journal.
+struct AbortSpec {
+  CrashPoint point = CrashPoint::kNone;
+  std::uint32_t occurrence = 0;
+};
+
 /// Seedable description of what goes wrong during a cluster run. An empty
 /// (default) plan injects nothing and costs one branch per message.
 struct FaultPlan {
@@ -80,11 +107,13 @@ struct FaultPlan {
   double delay_prob = 0.0;
   std::uint32_t delay_ms = 20;  ///< delay applied when the delay fault fires
   CrashSpec crash;              ///< at most one scripted crash
+  AbortSpec abort;              ///< at most one scripted process abort
 
   [[nodiscard]] bool empty() const {
     return drop_prob == 0.0 && duplicate_prob == 0.0 &&
            reorder_prob == 0.0 && delay_prob == 0.0 &&
-           crash.point == CrashPoint::kNone;
+           crash.point == CrashPoint::kNone &&
+           abort.point == CrashPoint::kNone;
   }
 
   /// The deterministic fault decision for the `index`-th message on the
@@ -92,13 +121,20 @@ struct FaultPlan {
   [[nodiscard]] FaultAction action_for(RankId src, RankId dst, int tag,
                                        std::uint64_t index) const;
 
+  /// One-line grammar of the spec strings parse() accepts; embedded in
+  /// every parse error so a malformed spec is self-documenting.
+  static constexpr std::string_view kGrammar =
+      "expected key=value[,key=value...] with keys seed=<u64>, "
+      "drop|dup|reorder|delay=<probability in [0,1]>, delay_ms=<u64>, "
+      "crash=<rank>@<point>[#<occurrence>], abort=<point>[#<occurrence>]; "
+      "points: startup, partition_start, partition_done, result_sent, "
+      "before_finish, journal_record";
+
   /// Parse a comma-separated spec, e.g.
   ///   "seed=7,drop=0.1,dup=0.05,reorder=0.1,delay=0.2,delay_ms=50,
-  ///    crash=2@partition_done#1"
-  /// Keys: seed, drop, dup, reorder, delay, delay_ms,
-  /// crash=<rank>@<point>[#occurrence] with point one of startup,
-  /// partition_start, partition_done, result_sent, before_finish.
-  /// Throws InvalidArgument on malformed specs.
+  ///    crash=2@partition_done#1,abort=journal_record#3"
+  /// per kGrammar. Throws InvalidArgument on malformed specs; the message
+  /// carries the byte offset of the offending token plus the grammar.
   [[nodiscard]] static FaultPlan parse(std::string_view spec);
 };
 

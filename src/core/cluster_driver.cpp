@@ -67,6 +67,10 @@ ClusterRunResult run_cluster_zonal(
   ZH_REQUIRE(config.ranks >= 1, "need at least one rank");
   ZH_TRACE_SPAN("cluster.run_zonal", "cluster");
   const FaultToleranceConfig& ft = config.fault_tolerance;
+  const CheckpointConfig& ck = config.checkpoint;
+  ZH_REQUIRE(!ck.enabled() || ft.enabled,
+             "checkpoint/resume requires fault-tolerant mode (only the "
+             "supervised master accepts partitions one by one)");
 
   // Build the global partition list (tile-aligned) and assign owners.
   std::vector<RasterPartition> parts;
@@ -203,6 +207,28 @@ ClusterRunResult run_cluster_zonal(
   // partition index -- the whole recovery scheme rests on that.
   result.merged = HistogramSet(polygons.size(), config.zonal.bins);
 
+  // Resume state: partitions a previous generation journaled are marked
+  // done up front and their merged contribution preloaded, so this run
+  // dispatches only the remainder yet merges bit-identically.
+  std::vector<char> resumed(parts.size(), 0);
+  for (const std::uint32_t index : ck.completed_partitions) {
+    ZH_REQUIRE(index < parts.size(), "resume partition index ", index,
+               " out of range for ", parts.size(), " partitions");
+    ZH_REQUIRE(resumed[index] == 0, "resume partition index ", index,
+               " listed twice");
+    resumed[index] = 1;
+  }
+  result.partitions_skipped = ck.completed_partitions.size();
+  if (!ck.completed_partitions.empty()) {
+    auto flat = result.merged.flat();
+    ZH_REQUIRE(ck.resume_bins.size() == flat.size(),
+               "resume histogram size mismatch: got ", ck.resume_bins.size(),
+               " bins, expected ", flat.size());
+    std::copy(ck.resume_bins.begin(), ck.resume_bins.end(), flat.begin());
+    ZH_COUNTER_ADD("journal.partitions_skipped",
+                   ck.completed_partitions.size());
+  }
+
   ClusterOptions options;
   options.faults = ft.faults;
   options.tolerate_rank_crash = true;
@@ -252,7 +278,9 @@ ClusterRunResult run_cluster_zonal(
           flush(r);
         };
         for (std::uint32_t i = 0; i < parts.size(); ++i) {
-          if (parts[i].owner == me) process(i);
+          // Journaled partitions need no recomputation -- the master
+          // preloaded their contribution from the resume state.
+          if (parts[i].owner == me && resumed[i] == 0) process(i);
         }
         // Pull loop: ask for reassigned work until the master says done.
         for (;;) {
@@ -287,6 +315,12 @@ ClusterRunResult run_cluster_zonal(
     const std::size_t total = parts.size();
     std::vector<char> completed(total, 0);
     std::size_t completed_count = 0;
+    for (std::uint32_t i = 0; i < total; ++i) {
+      if (resumed[i] != 0) {
+        completed[i] = 1;
+        ++completed_count;
+      }
+    }
     std::vector<RankOutcome> outcome(comm.size());
 
     const auto accumulate = [&](std::uint32_t index,
@@ -299,6 +333,11 @@ ClusterRunResult run_cluster_zonal(
                  "partition result size mismatch: got ", bins.size(),
                  " bins, expected ", flat.size());
       for (std::size_t i = 0; i < flat.size(); ++i) flat[i] += bins[i];
+      // Journal-before-acknowledge: the acceptance becomes durable
+      // before the master acts on it (serving more work, finishing the
+      // run), so a process death after this point never forgets an
+      // acknowledged partition. Runs on the master thread only.
+      if (ck.sink != nullptr) ck.sink->on_partition_complete(index, bins);
       return true;
     };
 
@@ -310,7 +349,7 @@ ClusterRunResult run_cluster_zonal(
     };
 
     for (std::uint32_t i = 0; i < parts.size(); ++i) {
-      if (parts[i].owner == kRoot) compute_own(i);
+      if (parts[i].owner == kRoot && resumed[i] == 0) compute_own(i);
     }
 
     // Worker supervision state.
@@ -319,7 +358,9 @@ ClusterRunResult run_cluster_zonal(
     std::vector<Clock::time_point> last_seen(comm.size(), Clock::now());
     std::vector<std::vector<std::uint32_t>> open(comm.size());
     for (std::uint32_t i = 0; i < parts.size(); ++i) {
-      if (parts[i].owner != kRoot) open[parts[i].owner].push_back(i);
+      if (parts[i].owner != kRoot && resumed[i] == 0) {
+        open[parts[i].owner].push_back(i);
+      }
     }
     std::vector<std::uint32_t> orphans;  // kept cost-descending (LPT)
     std::vector<char> sent_done(comm.size(), 0);

@@ -18,7 +18,12 @@
 //    (invariant 6 extended) whenever every partition completes; a
 //    `degraded` flag plus coverage list is returned when it does not.
 //    The master (rank 0) is the single point of failure, like the
-//    paper's MPI master: crash checkpoints never fire on it.
+//    paper's MPI master: crash checkpoints never fire on it. Whole-
+//    process death (including the master's) is mitigated by the durable
+//    checkpoint journal: with ClusterRunConfig::checkpoint wired, every
+//    accepted partition is journaled before acknowledgement and a
+//    restarted run resumes from the journal, recomputing only the
+//    remainder (bit-identical merge; DESIGN.md section 5d).
 #pragma once
 
 #include <cstdint>
@@ -27,6 +32,7 @@
 
 #include "cluster/comm.hpp"
 #include "cluster/partition.hpp"
+#include "core/checkpoint.hpp"
 #include "core/pipeline.hpp"
 #include "device/device.hpp"
 
@@ -64,6 +70,11 @@ struct ClusterRunConfig {
   bool compress = false;  ///< run Step 0 from BQ-Tree-compressed partitions
   PartitionAssignment assignment = PartitionAssignment::kRoundRobin;
   FaultToleranceConfig fault_tolerance;
+  /// Durable checkpoint/resume wiring (journal-before-acknowledge +
+  /// already-completed partitions). Requires fault_tolerance.enabled:
+  /// only the supervised master-worker mode accepts partitions one by
+  /// one. See src/core/checkpoint.hpp and DESIGN.md section 5d.
+  CheckpointConfig checkpoint;
 };
 
 /// How a rank ended the run.
@@ -123,6 +134,9 @@ struct ClusterRunResult {
   /// missing from `merged`); the indices are listed for coverage reports.
   bool degraded = false;
   std::vector<std::uint32_t> incomplete_partitions;
+  /// Partitions marked done from checkpoint.completed_partitions and
+  /// never recomputed this run (resume accounting).
+  std::uint64_t partitions_skipped = 0;
 };
 
 /// Partition each raster of `rasters` with the matching schema in

@@ -18,6 +18,7 @@
 #include "common/timer.hpp"                // IWYU pragma: export
 #include "common/types.hpp"                // IWYU pragma: export
 #include "core/baseline.hpp"               // IWYU pragma: export
+#include "core/checkpoint.hpp"             // IWYU pragma: export
 #include "core/cluster_driver.hpp"         // IWYU pragma: export
 #include "core/histogram.hpp"              // IWYU pragma: export
 #include "core/hybrid.hpp"                 // IWYU pragma: export
@@ -54,6 +55,7 @@
 #include "io/catalog.hpp"                  // IWYU pragma: export
 #include "io/geojson.hpp"                  // IWYU pragma: export
 #include "io/histogram_io.hpp"             // IWYU pragma: export
+#include "io/journal.hpp"                  // IWYU pragma: export
 #include "io/render.hpp"                   // IWYU pragma: export
 #include "io/vector_io.hpp"                // IWYU pragma: export
 #include "io/zgrid.hpp"                    // IWYU pragma: export

@@ -6,6 +6,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -98,6 +99,102 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_THROW((void)FaultPlan::parse("crash=1"), InvalidArgument);
   EXPECT_THROW((void)FaultPlan::parse("crash=1@no_such_point"),
                InvalidArgument);
+  EXPECT_THROW((void)FaultPlan::parse("abort=no_such_point"),
+               InvalidArgument);
+  EXPECT_THROW((void)FaultPlan::parse("abort=startup#x"), InvalidArgument);
+}
+
+TEST(FaultPlan, ParsesAbortSpec) {
+  const FaultPlan plan = FaultPlan::parse("abort=journal_record#2");
+  EXPECT_EQ(plan.abort.point, CrashPoint::kJournalRecord);
+  EXPECT_EQ(plan.abort.occurrence, 2u);
+  EXPECT_FALSE(plan.empty());  // an abort alone is a non-empty plan
+
+  const FaultPlan bare = FaultPlan::parse("abort=partition_done");
+  EXPECT_EQ(bare.abort.point, CrashPoint::kPartitionDone);
+  EXPECT_EQ(bare.abort.occurrence, 0u);
+
+  EXPECT_EQ(to_string(CrashPoint::kJournalRecord), "journal_record");
+}
+
+/// Asserts the COMPLETE error text: problem, byte offset of the failing
+/// token, the full spec, and the grammar -- so a user (and a test) can
+/// locate a typo in a long spec without counting commas.
+void expect_parse_error(std::string_view spec, std::size_t offset,
+                        std::string_view problem) {
+  const std::string expect = detail::format_parts(
+      "fault plan: ", problem, " at byte ", offset, " of '", spec, "' (",
+      FaultPlan::kGrammar, ")");
+  try {
+    (void)FaultPlan::parse(spec);
+    FAIL() << "spec '" << spec << "' was not rejected";
+  } catch (const InvalidArgument& e) {
+    EXPECT_EQ(e.what(), expect);
+  }
+}
+
+TEST(FaultPlan, ParseErrorsPinpointByteOffsetAndGrammar) {
+  expect_parse_error("bogus=1", 0, "unknown key 'bogus'");
+  expect_parse_error("drop=0.1,oops", 9, "expected key=value, got 'oops'");
+  expect_parse_error("drop=1.5", 5,
+                     "key 'drop' needs a probability in [0,1], got '1.5'");
+  expect_parse_error("seed=3,dup=x", 11,
+                     "key 'dup' needs a probability in [0,1], got 'x'");
+  expect_parse_error("seed=abc", 5,
+                     "key 'seed' needs a non-negative integer, got 'abc'");
+  expect_parse_error(
+      "crash=1", 6,
+      "key 'crash' needs <rank>@<point>[#<occurrence>], got '1'");
+  expect_parse_error("crash=1@nope", 8, "unknown crash point 'nope'");
+  expect_parse_error("abort=nope", 6, "unknown crash point 'nope'");
+  expect_parse_error(
+      "abort=startup#x", 14,
+      "key 'abort occurrence' needs a non-negative integer, got 'x'");
+}
+
+// --------------------------------------------------- retry backoff jitter
+
+TEST(FaultPlan, DecorrelatedBackoffIsDeterministicAndBounded) {
+  // Decorrelated jitter: each attempt draws uniformly from
+  // [base, 3 * previous], keyed by (seed, receiver, src, tag, attempt) --
+  // so replays with the same seed reproduce the same retry schedule
+  // byte for byte.
+  const std::int64_t base = 10;
+  std::int64_t prev = base;
+  for (std::uint32_t attempt = 0; attempt < 24; ++attempt) {
+    const std::int64_t a =
+        decorrelated_backoff_ms(7, 0, 2, 101, attempt, base, prev);
+    const std::int64_t b =
+        decorrelated_backoff_ms(7, 0, 2, 101, attempt, base, prev);
+    EXPECT_EQ(a, b) << "attempt " << attempt;  // deterministic
+    EXPECT_GE(a, base);
+    EXPECT_LE(a, std::max(base, 3 * prev));
+    prev = a;
+  }
+}
+
+TEST(FaultPlan, DecorrelatedBackoffDecorrelatesStreams) {
+  // Different receivers, sources, tags, attempts, or seeds must not march
+  // in lockstep -- synchronized retry storms are what jitter prevents.
+  const std::int64_t base = 10;
+  const std::int64_t prev = 1000;  // wide range: collisions unlikely
+  const std::int64_t ref = decorrelated_backoff_ms(1, 0, 1, 5, 3, base, prev);
+  int differs = 0;
+  differs += decorrelated_backoff_ms(2, 0, 1, 5, 3, base, prev) != ref;
+  differs += decorrelated_backoff_ms(1, 3, 1, 5, 3, base, prev) != ref;
+  differs += decorrelated_backoff_ms(1, 0, 2, 5, 3, base, prev) != ref;
+  differs += decorrelated_backoff_ms(1, 0, 1, 6, 3, base, prev) != ref;
+  differs += decorrelated_backoff_ms(1, 0, 1, 5, 4, base, prev) != ref;
+  EXPECT_GE(differs, 4);  // allow one accidental collision, not a pattern
+}
+
+TEST(FaultPlan, DecorrelatedBackoffHandlesDegenerateInputs) {
+  // Zero/negative base or previous must still produce a sane wait.
+  EXPECT_GE(decorrelated_backoff_ms(1, 0, 1, 5, 0, 0, 0), 1);
+  EXPECT_GE(decorrelated_backoff_ms(1, 0, 1, 5, 0, -5, -5), 1);
+  const std::int64_t v = decorrelated_backoff_ms(1, 0, 1, 5, 9, 1, 1);
+  EXPECT_GE(v, 1);
+  EXPECT_LE(v, 3);
 }
 
 // ----------------------------------------------------- message faults

@@ -7,6 +7,7 @@
 #   tools/check.sh asan         # Debug + ASan/UBSan + full ctest
 #   tools/check.sh tsan         # Debug + TSan + concurrency test suites
 #   tools/check.sh faults       # fault-injection suites (dev + asan-ubsan)
+#   tools/check.sh resume       # kill/resume soak: abort-point sweep + journal fuzz
 #   tools/check.sh obs          # trace/metrics end-to-end + ZH_OBS=OFF build
 #   tools/check.sh lint         # zh-lint project invariants + header check
 #   tools/check.sh tidy         # clang-tidy over src/ (needs clang-tidy)
@@ -27,11 +28,12 @@ CTEST_PARALLEL="${CTEST_PARALLEL:-${JOBS}}"
 # fault-injection and timeout/heartbeat paths), the Step-4 refinement
 # strategies (parallel edge-index build + scanline kernels), and the
 # stress mix.
-TSAN_FILTER='*ThreadPool*:*Primitive*:*Comm*:*Partition*:*Cluster*:*Stress*:*Device*:*Fault*:*Obs*:*Refine*'
+TSAN_FILTER='*ThreadPool*:*Primitive*:*Comm*:*Partition*:*Cluster*:*Stress*:*Device*:*Fault*:*Obs*:*Refine*:*Checkpoint*'
 
 # Fault-tolerance suites: deterministic fault injection, timeout/retry,
-# straggler recovery, corruption-detecting I/O, and the parser corpus.
-FAULT_FILTER='*Fault*:*ClusterRecovery*:*ParserRobustness*:*CorruptIo*'
+# straggler recovery, corruption-detecting I/O, the parser corpus, and
+# the checkpoint-journal torn-write/bit-flip/resume suites.
+FAULT_FILTER='*Fault*:*ClusterRecovery*:*ParserRobustness*:*CorruptIo*:*Journal*:*Checkpoint*'
 
 log() { printf '\n\033[1;34m== %s ==\033[0m\n' "$*"; }
 
@@ -96,6 +98,127 @@ run_faults() {
   log "fault-injection suites (asan-ubsan)"
   ./build-asan-ubsan/tests/zh_tests --gtest_filter="${FAULT_FILTER}" \
     --gtest_brief=1
+}
+
+run_resume() {
+  # Kill/resume soak harness (DESIGN.md 5d): a scripted process abort
+  # (exit 43, a simulated SIGKILL) at every crash point and several
+  # occurrences, each followed by `zhist --resume`, must reproduce the
+  # uninterrupted single-rank run bit for bit -- including the
+  # journal_record abort, which leaves a torn half-frame on disk. The
+  # torn-write/bit-flip fuzz suites then run under ASan/UBSan, and the
+  # journaling overhead gate closes the stage.
+  configure_and_build dev
+  local tmp="build-dev/resume-check"
+  rm -rf "${tmp}" && mkdir -p "${tmp}"
+  local zhist=./build-dev/tools/zhist
+
+  log "golden single-rank run (dev)"
+  "${zhist}" synth "${tmp}/dem.zgrid" --rows 300 --cols 300
+  "${zhist}" zones "${tmp}/zones.tsv" --zones 20
+  "${zhist}" hist "${tmp}/dem.zgrid" "${tmp}/zones.tsv" \
+    -o "${tmp}/golden.csv" --bins 128 --tile 64 --partitions 4x4
+
+  # One interrupted run + one resume; verifies exit codes, bit-identity
+  # against the golden CSV, and (when the journal held records) that the
+  # run report shows journal.partitions_skipped > 0.
+  kill_resume_case() {
+    local name="$1" plan="$2"
+    local ck="${tmp}/ck-${name}"
+    rm -rf "${ck}"
+    local rc=0
+    "${zhist}" hist "${tmp}/dem.zgrid" "${tmp}/zones.tsv" \
+      -o "${tmp}/out-${name}.csv" --bins 128 --tile 64 --ranks 3 \
+      --partitions 4x4 --checkpoint-dir "${ck}" \
+      --fault-plan "${plan}" >/dev/null 2>&1 || rc=$?
+    if [[ "${rc}" -ne 0 && "${rc}" -ne 43 ]]; then
+      echo "abort run '${name}' exited ${rc} (expected 0 or 43)" >&2
+      return 1
+    fi
+    if [[ "${rc}" -eq 0 ]]; then
+      # The abort occurrence was never reached: the run completed; its
+      # output must already match the golden run.
+      cmp "${tmp}/out-${name}.csv" "${tmp}/golden.csv"
+      return 0
+    fi
+    local resume_rc=0
+    "${zhist}" hist "${tmp}/dem.zgrid" "${tmp}/zones.tsv" \
+      -o "${tmp}/out-${name}.csv" --bins 128 --tile 64 --ranks 3 \
+      --partitions 4x4 --checkpoint-dir "${ck}" --resume --report \
+      >"${tmp}/report-${name}.txt" 2>"${tmp}/stderr-${name}.txt" ||
+      resume_rc=$?
+    if [[ "${resume_rc}" -ne 0 ]]; then
+      echo "resume '${name}' exited ${resume_rc}" >&2
+      cat "${tmp}/stderr-${name}.txt" >&2
+      return 1
+    fi
+    cmp "${tmp}/out-${name}.csv" "${tmp}/golden.csv"
+    # "resume: N of M partitions journaled" -- when N > 0 the run report
+    # must account for the skipped partitions.
+    local journaled
+    journaled="$(sed -n 's/^resume: \([0-9]*\) of .*/\1/p' \
+      "${tmp}/stderr-${name}.txt")"
+    if [[ -n "${journaled}" && "${journaled}" -gt 0 ]]; then
+      local skipped
+      skipped="$(sed -n \
+        's/^ *journal\.partitions_skipped *\([0-9]*\)$/\1/p' \
+        "${tmp}/report-${name}.txt" | head -n1)"
+      if [[ -z "${skipped}" || "${skipped}" -eq 0 ]]; then
+        echo "resume '${name}': ${journaled} partitions journaled but" \
+          "journal.partitions_skipped not positive in the run report" >&2
+        return 1
+      fi
+    fi
+  }
+
+  log "kill-at-every-abort-point sweep + resume bit-identity (dev)"
+  local point occ
+  for point in startup partition_start partition_done result_sent \
+    before_finish journal_record; do
+    for occ in 0 2 5; do
+      echo "  abort=${point}#${occ}"
+      kill_resume_case "${point}-${occ}" "abort=${point}#${occ}"
+    done
+  done
+
+  log "double-interrupted resume (kill, resume+kill, resume)"
+  # Kill mid-journal-append, then kill the RESUME mid-append too (torn
+  # tail both times); the second resume must still land bit-identical.
+  local ck="${tmp}/ck-double" rc
+  rm -rf "${ck}"
+  rc=0
+  "${zhist}" hist "${tmp}/dem.zgrid" "${tmp}/zones.tsv" \
+    -o "${tmp}/out-double.csv" --bins 128 --tile 64 --ranks 3 \
+    --partitions 4x4 --checkpoint-dir "${ck}" \
+    --fault-plan "abort=journal_record#0" >/dev/null 2>&1 || rc=$?
+  [[ "${rc}" -eq 43 ]] || {
+    echo "first kill exited ${rc} (expected 43)" >&2
+    return 1
+  }
+  rc=0
+  "${zhist}" hist "${tmp}/dem.zgrid" "${tmp}/zones.tsv" \
+    -o "${tmp}/out-double.csv" --bins 128 --tile 64 --ranks 3 \
+    --partitions 4x4 --checkpoint-dir "${ck}" --resume \
+    --fault-plan "abort=journal_record#1" >/dev/null 2>&1 || rc=$?
+  [[ "${rc}" -eq 43 ]] || {
+    echo "killed resume exited ${rc} (expected 43)" >&2
+    return 1
+  }
+  "${zhist}" hist "${tmp}/dem.zgrid" "${tmp}/zones.tsv" \
+    -o "${tmp}/out-double.csv" --bins 128 --tile 64 --ranks 3 \
+    --partitions 4x4 --checkpoint-dir "${ck}" --resume --report \
+    >"${tmp}/report-double.txt" 2>"${tmp}/stderr-double.txt"
+  cmp "${tmp}/out-double.csv" "${tmp}/golden.csv"
+  grep -q "^resume: [1-9]" "${tmp}/stderr-double.txt"
+
+  log "journal torn-write/bit-flip fuzz suites (asan-ubsan)"
+  configure_and_build asan-ubsan
+  ./build-asan-ubsan/tests/zh_tests \
+    --gtest_filter='*Journal*:*Checkpoint*' --gtest_brief=1
+
+  log "checkpoint journaling overhead gate (dev)"
+  ZH_BENCH_JSON=build-dev/BENCH_checkpoint_overhead.json \
+    ./build-dev/bench/bench_checkpoint_overhead
 }
 
 run_obs() {
@@ -181,11 +304,12 @@ for stage in "${stages[@]}"; do
     asan | asan-ubsan) run_asan ;;
     tsan) run_tsan ;;
     faults) run_faults ;;
+    resume) run_resume ;;
     obs) run_obs ;;
     lint) run_lint ;;
     tidy) run_tidy ;;
     *)
-      echo "unknown stage '${stage}' (expected: dev asan tsan faults obs lint tidy)" >&2
+      echo "unknown stage '${stage}' (expected: dev asan tsan faults resume obs lint tidy)" >&2
       exit 2
       ;;
   esac

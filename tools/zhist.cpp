@@ -3,11 +3,16 @@
 // Subcommands:
 //   zhist hist <raster> <zones.tsv> [-o hist.csv] [--bins N] [--tile N]
 //       [--stats] [--partitions RxC] [--ranks N] [--fault-plan SPEC]
+//       [--checkpoint-dir DIR] [--resume] [--checkpoint-interval N]
 //     Zonal histograms of a raster (.zgrid, .asc or .bq) over a WKT-TSV
 //     zone layer; optional classic statistics table; CSV output. With
 //     --ranks > 1 the run goes through the fault-tolerant cluster driver;
 //     --fault-plan injects scripted message faults / rank crashes (see
 //     FaultPlan::parse), e.g. "seed=1,drop=0.05,crash=2@partition_done".
+//     --checkpoint-dir journals every accepted partition into
+//     DIR/run.journal (fsync every N records); after a process death,
+//     rerunning with --resume recomputes only un-journaled partitions
+//     and produces bit-identical histograms (DESIGN.md 5d).
 //   zhist encode <raster.zgrid|.asc> <out.bq> [--tile N]
 //     BQ-Tree-compress a raster.
 //   zhist decode <in.bq> <out.zgrid>
@@ -26,7 +31,9 @@
 //     Out-of-core run over a catalog directory.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,7 +49,8 @@ using namespace zh;
                "  zhist hist <raster> <zones.tsv> [-o hist.csv] "
                "[--bins N] [--tile N] [--stats] [--partitions RxC] "
                "[--refine brute|scanline|auto] [--ranks N] "
-               "[--fault-plan SPEC] [--trace FILE] "
+               "[--fault-plan SPEC] [--checkpoint-dir DIR] [--resume] "
+               "[--checkpoint-interval N] [--trace FILE] "
                "[--metrics FILE] [--report]\n"
                "  zhist encode <raster> <out.bq> [--tile N]\n"
                "  zhist decode <in.bq> <out.zgrid>\n"
@@ -73,6 +81,9 @@ struct Args {
   bool eager = false;
   std::size_t ranks = 1;
   std::string fault_plan;
+  std::string checkpoint_dir;  ///< durable run-journal directory
+  bool resume = false;         ///< continue from the journal in the dir
+  std::uint32_t checkpoint_interval = 1;  ///< fsync every N records
   std::string trace;    ///< Chrome trace_event JSON output path
   std::string metrics;  ///< run-report JSON output path
   bool report = false;  ///< print the human-readable run report
@@ -130,6 +141,13 @@ Args parse(int argc, char** argv) {
       args.ranks = static_cast<std::size_t>(std::stoull(next()));
     } else if (a == "--fault-plan") {
       args.fault_plan = next();
+    } else if (a == "--checkpoint-dir") {
+      args.checkpoint_dir = next();
+    } else if (a == "--resume") {
+      args.resume = true;
+    } else if (a == "--checkpoint-interval") {
+      args.checkpoint_interval =
+          static_cast<std::uint32_t>(std::stoul(next()));
     } else if (a == "--trace") {
       args.trace = next();
     } else if (a == "--metrics") {
@@ -224,7 +242,8 @@ int cmd_hist(const Args& args) {
                static_cast<long long>(raster.cols()), zones.size(),
                args.bins, static_cast<long long>(args.tile));
 
-  if (args.ranks > 1 || !args.fault_plan.empty()) {
+  if (args.ranks > 1 || !args.fault_plan.empty() ||
+      !args.checkpoint_dir.empty()) {
     ClusterRunConfig cfg;
     cfg.ranks = args.ranks > 0 ? args.ranks : 1;
     cfg.zonal = {.tile_size = args.tile, .bins = args.bins,
@@ -243,8 +262,50 @@ int cmd_hist(const Args& args) {
             : args.part_rows;
     std::vector<DemRaster> rasters;
     rasters.push_back(raster);
+    const std::vector<std::pair<int, int>> schemas{{pr, args.part_cols}};
+
+    // Durable checkpoint/resume: journal every accepted partition into
+    // <dir>/run.journal; --resume loads the journal (torn tail and all),
+    // refuses a manifest mismatch, and recomputes only what is missing.
+    std::optional<JournalWriter> journal;
+    double resume_seconds = 0.0;
+    std::uint32_t generation = 0;
+    if (args.resume && args.checkpoint_dir.empty()) {
+      std::fprintf(stderr, "--resume needs --checkpoint-dir\n");
+      usage();
+    }
+    if (!args.checkpoint_dir.empty()) {
+      std::filesystem::create_directories(args.checkpoint_dir);
+      const std::string jpath = args.checkpoint_dir + "/run.journal";
+      const RunManifest manifest =
+          make_manifest(rasters, schemas, zones, cfg);
+      JournalWriterOptions jopts;
+      jopts.fsync_interval =
+          args.checkpoint_interval > 0 ? args.checkpoint_interval : 1;
+      jopts.abort = cfg.fault_tolerance.faults.abort;
+      if (args.resume) {
+        const JournalLoad load = load_journal(jpath);
+        require_manifest_match(load.manifest, manifest, jpath);
+        cfg.checkpoint.completed_partitions = load.completed;
+        cfg.checkpoint.resume_bins = load.merged_bins;
+        resume_seconds = load.resume_seconds;
+        journal.emplace(JournalWriter::append(jpath, load, jopts));
+        generation = journal->generation();
+        std::fprintf(stderr,
+                     "resume: %zu of %u partitions journaled "
+                     "(generation %u, %llu torn bytes dropped)\n",
+                     load.completed.size(), load.manifest.partition_count,
+                     generation,
+                     static_cast<unsigned long long>(load.torn_bytes));
+      } else {
+        journal.emplace(JournalWriter::create(jpath, manifest, jopts));
+      }
+      cfg.checkpoint.sink = &*journal;
+    }
+
     const ClusterRunResult cres =
-        run_cluster_zonal(rasters, {{pr, args.part_cols}}, zones, cfg);
+        run_cluster_zonal(rasters, schemas, zones, cfg);
+    if (journal.has_value()) journal->flush();
     std::fprintf(stderr, "cluster: %zu ranks, %.2f s wall%s\n", cfg.ranks,
                  cres.wall_seconds,
                  cres.degraded ? " [DEGRADED: incomplete partitions]" : "");
@@ -286,6 +347,21 @@ int cmd_hist(const Args& args) {
       report.counters.emplace_back("comm_bytes", cres.comm_bytes);
       report.counters.emplace_back("incomplete_partitions",
                                    cres.incomplete_partitions.size());
+      if (journal.has_value()) {
+        report.config.emplace_back("checkpoint_dir", args.checkpoint_dir);
+        report.config.emplace_back("resume", args.resume ? "1" : "0");
+        report.config.emplace_back("checkpoint_interval",
+                                   std::to_string(args.checkpoint_interval));
+        report.config.emplace_back("journal_generation",
+                                   std::to_string(generation));
+        report.counters.emplace_back("journal.records_written",
+                                     journal->records_written());
+        report.counters.emplace_back("journal.partitions_skipped",
+                                     cres.partitions_skipped);
+        report.counters.emplace_back(
+            "journal.resume_ms",
+            static_cast<std::uint64_t>(resume_seconds * 1e3));
+      }
       report.rank_columns = rank_metrics_columns();
       for (std::size_t r = 0; r < cres.rank_metrics.size(); ++r) {
         report.rank_rows.push_back(

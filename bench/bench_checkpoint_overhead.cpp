@@ -120,7 +120,8 @@ int main() {
        {"journal_seconds", std::to_string(journal_s)},
        {"overhead_pct", std::to_string(pct)},
        {"tolerance_pct", std::to_string(tol_pct)}},
-      nullptr, &journal_work);
+      nullptr, &journal_work,
+      {{"checkpoint_base", base_s}, {"checkpoint_journal", journal_s}});
 
   if (pct > tol_pct && abs_ms > tol_abs_ms) {
     std::printf("FAIL: journaling overhead %.2f%% (%.1f ms) exceeds "

@@ -112,7 +112,8 @@ int main() {
        {"edge_test_ratio", std::to_string(edge_ratio)},
        {"speedup", std::to_string(speedup)},
        {"identical", identical ? "true" : "false"}},
-      nullptr, nullptr);
+      nullptr, nullptr,
+      {{"refine_brute", brute.seconds}, {"refine_scanline", scan.seconds}});
 
   if (!identical) {
     std::printf("  ERROR: strategies disagree!\n");

@@ -70,7 +70,8 @@ inline void write_bench_report(
     const std::string& default_path, const std::string& tool,
     const std::string& workload,
     std::vector<std::pair<std::string, std::string>> config,
-    const StepTimes* times, const WorkCounters* work) {
+    const StepTimes* times, const WorkCounters* work,
+    std::vector<std::pair<std::string, double>> extra_times = {}) {
   std::string path = default_path;
   if (const char* env = std::getenv("ZH_BENCH_JSON");
       env != nullptr && *env != '\0') {
@@ -85,6 +86,7 @@ inline void write_bench_report(
     report.times = *times;
     report.has_times = true;
   }
+  report.extra_times = std::move(extra_times);
   if (work != nullptr) append_work_counters(report, *work);
   obs::write_report_json(path, report);
   std::printf("wrote %s\n", path.c_str());

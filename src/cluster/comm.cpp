@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <exception>
+#include <limits>
 #include <map>
 #include <memory>
 #include <thread>
@@ -27,6 +28,10 @@ struct Message {
   std::vector<std::byte> payload;
   /// Injected-delay release time; min() = visible immediately.
   Clock::time_point visible_at = Clock::time_point::min();
+  /// Causal trace context stamped at send time -- the in-process analog
+  /// of a fixed header field in the CRC'd wire frame (layout versioned
+  /// by obs::kTraceContextVersion). flow_id == 0 when tracing was off.
+  obs::TraceContext trace;
 };
 
 }  // namespace
@@ -97,8 +102,8 @@ class Cluster {
   /// nothing from `src` is pending or in flight, so messages sent before
   /// a crash remain receivable.
   [[nodiscard]] Status await(RankId dst, RankId src, int tag,
-                             Deadline deadline,
-                             std::vector<std::byte>& out) {
+                             Deadline deadline, std::vector<std::byte>& out,
+                             obs::TraceContext& trace_out) {
     ZH_ASSERT(src < ranks_, "recv from rank ", src,
               " which is outside the cluster of ", ranks_, " ranks");
     Mailbox& box = mailboxes_[dst];
@@ -118,6 +123,7 @@ class Cluster {
                   "message framing corrupted in mailbox");
         if (!has_faults_) check_fifo_order(box, src, tag, it->seq);
         out = std::move(it->payload);
+        trace_out = it->trace;
         box.queue.erase(it);
         return Status::ok();
       }
@@ -165,6 +171,7 @@ class Cluster {
         out.src = it->src;
         out.tag = it->tag;
         out.payload = std::move(it->payload);
+        out.trace = it->trace;
         box.queue.erase(it);
         return Status::ok();
       }
@@ -395,9 +402,19 @@ void Communicator::send_bytes(RankId dst, int tag,
   bytes_sent_ += payload.size();
   ZH_COUNTER_ADD("comm.msgs_sent", 1);
   ZH_COUNTER_ADD("comm.bytes_sent", payload.size());
+  // Stamp the causal context before handing the message to the
+  // transport so the "s" event timestamp never postdates delivery.
+  obs::TraceContext ctx;
+  if (obs::trace_enabled()) {
+    ctx.flow_id = obs::next_flow_id();
+    ctx.parent_span = obs::current_span_id();
+    ctx.send_ts_us = obs::now_us();
+    obs::record_flow('s', "comm.send", "comm", ctx.flow_id, ctx.send_ts_us);
+  }
   const std::size_t framed = payload.size();
   cluster_->deliver(dst,
-                    Message{rank_, tag, /*seq=*/0, framed, std::move(payload)});
+                    Message{rank_, tag, /*seq=*/0, framed, std::move(payload),
+                            Clock::time_point::min(), ctx});
 }
 
 std::vector<std::byte> Communicator::recv_bytes(RankId src, int tag) {
@@ -413,14 +430,21 @@ Status Communicator::recv_bytes(RankId src, int tag, Deadline deadline,
   // messages between them; the final attempt waits out the caller's full
   // deadline so a slow-but-healthy sender is never failed prematurely.
   ZH_TRACE_SPAN("comm.recv", "comm");
+  obs::TraceContext ctx;
+  const auto finish_flow = [&ctx](const Status& s) {
+    if (s.is_ok() && ctx.flow_id != 0 && obs::trace_enabled()) {
+      obs::record_flow('f', "comm.recv", "comm", ctx.flow_id, obs::now_us());
+    }
+  };
   std::int64_t attempt_ms = retry.initial_timeout_ms;
   const std::uint32_t attempts = std::max(retry.max_attempts, 1u);
   for (std::uint32_t attempt = 0; attempt + 1 < attempts; ++attempt) {
     const Deadline slice = Deadline::after_ms(attempt_ms).min(deadline);
-    Status s = cluster_->await(rank_, src, tag, slice, out);
+    Status s = cluster_->await(rank_, src, tag, slice, out, ctx);
     if (s.code() != StatusCode::kTimeout &&
         !(s.code() == StatusCode::kRankDead &&
           cluster_->recover_lost(rank_, src, tag) > 0)) {
+      finish_flow(s);
       return s;
     }
     if (deadline.expired()) {
@@ -448,12 +472,19 @@ Status Communicator::recv_bytes(RankId src, int tag, Deadline deadline,
           static_cast<double>(attempt_ms) * retry.backoff);
     }
   }
-  return cluster_->await(rank_, src, tag, deadline, out);
+  Status s = cluster_->await(rank_, src, tag, deadline, out, ctx);
+  finish_flow(s);
+  return s;
 }
 
 Status Communicator::recv_any(std::span<const int> tags, Deadline deadline,
                               AnyMessage& out) {
-  return cluster_->await_any(rank_, tags, deadline, out);
+  Status s = cluster_->await_any(rank_, tags, deadline, out);
+  if (s.is_ok() && out.trace.flow_id != 0 && obs::trace_enabled()) {
+    obs::record_flow('f', "comm.recv", "comm", out.trace.flow_id,
+                     obs::now_us());
+  }
+  return s;
 }
 
 std::size_t Communicator::recover_lost(RankId src, int tag) {
@@ -476,6 +507,76 @@ bool Communicator::rank_dead(RankId r) const {
 void Communicator::checkpoint(CrashPoint point) {
   cluster_->checkpoint(rank_, point);
 }
+
+namespace {
+
+/// NTP-style clock-offset estimation at rank startup (tracing only).
+/// Each worker rank probes rank 0 a few times on kClockTag; rank 0
+/// replies with its own timestamp; the worker keeps the minimum-RTT
+/// sample (tightest error bound) and records how far its clock reads
+/// ahead of rank 0's. In this in-process model every rank shares one
+/// steady clock, so offsets land near zero (bounded by half the RTT) --
+/// the point is exercising the protocol a multi-node deployment needs.
+/// Every wait is deadline-bounded and failure-tolerant: lost probes are
+/// recovered via retransmission, and a rank that cannot complete the
+/// handshake keeps offset 0 instead of stalling the run.
+void clock_handshake(Communicator& comm, std::size_t ranks) {
+  constexpr int kProbesPerRank = 3;
+  constexpr std::int64_t kStepMs = 250;
+  const int tag = Communicator::kClockTag;
+  if (comm.rank() == 0) {
+    // Serve probes until every expected one is answered or the line has
+    // gone quiet with nothing left to recover.
+    const std::size_t expect = (ranks - 1) * kProbesPerRank;
+    const int tags[] = {tag};
+    std::size_t served = 0;
+    int idle_rounds = 0;
+    while (served < expect && idle_rounds < 2) {
+      AnyMessage probe;
+      if (Status s = comm.recv_any(tags, Deadline::after_ms(kStepMs), probe);
+          s.is_ok()) {
+        ++served;
+        idle_rounds = 0;
+        const std::int64_t t_here = obs::now_us();
+        comm.send<std::int64_t>(probe.src, tag, std::span(&t_here, 1));
+      } else {
+        std::size_t recovered = 0;
+        for (RankId r = 1; r < ranks; ++r) recovered += comm.recover_lost(r, tag);
+        if (recovered == 0) ++idle_rounds;
+      }
+    }
+    return;
+  }
+  std::int64_t best_rtt_us = std::numeric_limits<std::int64_t>::max();
+  std::int64_t best_offset_us = 0;
+  bool have_sample = false;
+  for (int probe = 0; probe < kProbesPerRank; ++probe) {
+    const std::int64_t t0 = obs::now_us();
+    comm.send<std::byte>(/*dst=*/0, tag, {});
+    std::vector<std::int64_t> reply;
+    if (Status s = comm.recv<std::int64_t>(0, tag, Deadline::after_ms(kStepMs),
+                                           reply);
+        !s.is_ok() || reply.size() != 1) {
+      continue;  // lost probe/reply or master gave up; try the next one
+    }
+    const std::int64_t t3 = obs::now_us();
+    const std::int64_t rtt = t3 - t0;
+    if (rtt < best_rtt_us) {
+      best_rtt_us = rtt;
+      // clock_offset_from_handshake gives how far rank 0 reads ahead of
+      // us; the registry stores the inverse convention (this rank ahead
+      // of the master).
+      best_offset_us = -obs::clock_offset_from_handshake(t0, reply[0], t3);
+      have_sample = true;
+    }
+  }
+  if (have_sample) {
+    obs::set_rank_clock_offset_us(static_cast<std::int32_t>(comm.rank()),
+                                  best_offset_us);
+  }
+}
+
+}  // namespace
 
 void run_cluster(std::size_t ranks,
                  const std::function<void(Communicator&)>& body) {
@@ -502,6 +603,10 @@ void run_cluster(std::size_t ranks, const ClusterOptions& options,
       obs::set_thread_rank(static_cast<std::int32_t>(r));
       Communicator comm = cluster.make_comm(r);
       try {
+        // Estimate this rank's clock offset before user work starts so
+        // merged traces share one clock domain. Crash points only fire
+        // inside body(), so the handshake itself cannot be crashed out.
+        if (obs::trace_enabled() && ranks > 1) clock_handshake(comm, ranks);
         body(comm);
       } catch (const RankCrash&) {
         if (!options.tolerate_rank_crash) {

@@ -37,6 +37,7 @@
 #include "cluster/fault.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 
 namespace zh {
 
@@ -86,6 +87,11 @@ struct AnyMessage {
   RankId src = 0;
   int tag = 0;
   std::vector<std::byte> payload;
+  /// Causal context stamped by the sender (flow_id == 0 when tracing
+  /// was off at send time). The matching "f" flow event is recorded by
+  /// recv_any itself; the context is surfaced for callers that want the
+  /// sender's logical send timestamp or parent span.
+  obs::TraceContext trace;
 };
 
 /// Per-rank handle used inside run_cluster bodies.
@@ -95,7 +101,11 @@ class Communicator {
   [[nodiscard]] std::size_t size() const;
 
   /// Point-to-point send of raw bytes with a user tag (non-blocking:
-  /// enqueues into the destination mailbox; never waits).
+  /// enqueues into the destination mailbox; never waits). When tracing
+  /// is enabled, stamps a TraceContext into the message envelope (the
+  /// in-process analog of a header field in the CRC'd wire frame;
+  /// layout versioned by obs::kTraceContextVersion) and records the "s"
+  /// half of the send->recv flow edge.
   void send_bytes(RankId dst, int tag, std::vector<std::byte> payload);
 
   /// Blocking receive of the next message from `src` with `tag`.
@@ -263,6 +273,10 @@ class Communicator {
 
   static constexpr int kGatherTag = -1;
   static constexpr int kReduceTag = -2;
+  /// Reserved for the clock-offset handshake run_cluster performs at
+  /// rank startup when tracing is enabled (probe r->0 and reply 0->r
+  /// both use it; direction disambiguates).
+  static constexpr int kClockTag = -3;
 
  private:
   friend class Cluster;
@@ -280,6 +294,11 @@ class Communicator {
 /// Launch `ranks` threads, each running body(comm). Returns when all
 /// ranks finish; rethrows the first rank exception. A rank that exits is
 /// marked dead so peers blocked on it fail fast instead of deadlocking.
+/// When tracing is enabled, each worker rank runs a short NTP-style
+/// clock handshake against rank 0 before body() starts (min-RTT sample
+/// of a few probes on kClockTag) and records its offset via
+/// obs::set_rank_clock_offset_us; a failed/timed-out handshake leaves
+/// the offset at 0 rather than delaying the run.
 void run_cluster(std::size_t ranks,
                  const std::function<void(Communicator&)>& body);
 

@@ -21,6 +21,7 @@ constexpr int kTagResult = 101;  ///< worker -> master: u32 index + histogram
 constexpr int kTagMore = 102;    ///< worker -> master: request for more work
 constexpr int kTagAssign = 103;  ///< master -> worker: u32 list (empty=done)
 constexpr int kTagMetrics = 104;  ///< worker -> master: one RankMetricsRow
+constexpr int kTagTrace = 105;  ///< worker -> master: zh-trace-frame v1 blob
 
 std::vector<std::byte> encode_result(std::uint32_t part_index,
                                      std::span<const BinCount> bins) {
@@ -172,6 +173,23 @@ ClusterRunResult run_cluster_zonal(
           comm.gather<RankMetricsRow>(
               kRoot, std::span<const RankMetricsRow>(&row, 1), kTagMetrics);
 
+      // Gather per-rank trace buffers next to the metrics rows so a
+      // traced run exports one merged cluster timeline. Rank
+      // attribution is pinned at flush time (take_thread_events), never
+      // by the ingesting thread.
+      if (obs::trace_enabled()) {
+        const std::vector<std::byte> blob = obs::encode_trace_events(
+            obs::take_thread_events(static_cast<std::int32_t>(me)));
+        const std::vector<std::vector<std::byte>> blobs =
+            comm.gather<std::byte>(kRoot, std::span<const std::byte>(blob),
+                                   kTagTrace);
+        if (me == kRoot) {
+          for (const std::vector<std::byte>& b : blobs) {
+            obs::ingest_trace_events(b);
+          }
+        }
+      }
+
       {
         std::lock_guard lock(result_mutex);
         result.per_rank[me] = times;
@@ -258,6 +276,18 @@ ClusterRunResult run_cluster_zonal(
 
     if (me != kRoot) {
       RankMetricsRow row;
+      // Stream this rank's trace buffer to the master incrementally
+      // (after every partition plus once at the end), so a rank that
+      // later crashes has already contributed everything it flushed.
+      // Rank attribution is pinned here, at flush time -- the ingesting
+      // thread (possibly the master after takeover) must never re-stamp.
+      const auto flush_trace = [&] {
+        if (!obs::trace_enabled()) return;
+        const std::vector<obs::TraceEvent> events =
+            obs::take_thread_events(static_cast<std::int32_t>(me));
+        if (events.empty()) return;
+        comm.send_bytes(kRoot, kTagTrace, obs::encode_trace_events(events));
+      };
       try {
         comm.checkpoint(CrashPoint::kStartup);
         const auto process = [&](std::uint32_t index) {
@@ -276,6 +306,7 @@ ClusterRunResult run_cluster_zonal(
           ++row.partitions_processed;
           tally_work(row, r.work);
           flush(r);
+          flush_trace();
         };
         for (std::uint32_t i = 0; i < parts.size(); ++i) {
           // Journaled partitions need no recomputation -- the master
@@ -299,6 +330,10 @@ ClusterRunResult run_cluster_zonal(
         row.reported = 1;
         comm.send<RankMetricsRow>(
             kRoot, kTagMetrics, std::span<const RankMetricsRow>(&row, 1));
+        // Final trace flush travels after the metrics row; anything
+        // recorded past this point retires with the thread and is still
+        // visible in the in-process snapshot.
+        flush_trace();
       } catch (const RankCrash&) {
         rank_crashed[me] = 1;  // sole writer of this element
         throw;
@@ -410,7 +445,8 @@ ClusterRunResult run_cluster_zonal(
       return true;
     };
 
-    constexpr std::array<int, 3> kTags{kTagHeartbeat, kTagResult, kTagMore};
+    constexpr std::array<int, 4> kTags{kTagHeartbeat, kTagResult, kTagMore,
+                                       kTagTrace};
     const std::int64_t poll_ms =
         std::clamp<std::int64_t>(ft.worker_timeout_ms / 10, 1, 20);
     const auto handle = [&](const AnyMessage& msg) {
@@ -435,6 +471,11 @@ ClusterRunResult run_cluster_zonal(
         auto& mine = open[msg.src];
         mine.erase(std::remove(mine.begin(), mine.end(), index),
                    mine.end());
+      } else if (msg.tag == kTagTrace) {
+        // Merge the worker's flushed trace buffer as it arrives;
+        // duplicate deliveries of the same frame are deduplicated
+        // inside ingest, and rank attribution travels in the frame.
+        obs::ingest_trace_events(msg.payload);
       } else {  // kTagMore
         if (!serve(msg.src)) {
           if (completed_count == total) {
@@ -522,6 +563,25 @@ ClusterRunResult run_cluster_zonal(
                                     Deadline::after_ms(ft.worker_timeout_ms),
                                     got, ft.retry);
       if (s.is_ok() && got.size() == 1) rows[r] = got[0];
+    }
+
+    // Drain trace blobs still in flight (final flushes of released
+    // ranks, plus anything a dead rank sent before dying). recover_lost
+    // retransmits frames parked by drop faults first, so every "s" flow
+    // half that reached the wire makes it into the merged timeline --
+    // otherwise the receiver-side "f" events would dangle.
+    if (obs::trace_enabled()) {
+      constexpr std::array<int, 1> kTraceOnly{kTagTrace};
+      for (RankId r = 1; r < comm.size(); ++r) {
+        comm.recover_lost(r, kTagTrace);
+      }
+      const std::int64_t drain_ms =
+          std::max<std::int64_t>(poll_ms, ft.faults.delay_ms + 10);
+      AnyMessage blob;
+      while (comm.recv_any(kTraceOnly, Deadline::after_ms(drain_ms), blob)
+                 .is_ok()) {
+        obs::ingest_trace_events(blob.payload);
+      }
     }
 
     {

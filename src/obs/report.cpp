@@ -74,20 +74,26 @@ std::string report_json(const RunReport& report) {
   }
   out += "}";
 
-  if (report.has_times) {
+  if (report.has_times || !report.extra_times.empty()) {
     out += ",\"times_s\":{";
     first = true;
-    for (std::size_t i = 0; i < StepTimes::kSteps; ++i) {
-      char key[8];
-      std::snprintf(key, sizeof(key), "step%zu", i);
-      append_kv(out, key, report.times.seconds[i], first);
+    if (report.has_times) {
+      for (std::size_t i = 0; i < StepTimes::kSteps; ++i) {
+        char key[8];
+        std::snprintf(key, sizeof(key), "step%zu", i);
+        append_kv(out, key, report.times.seconds[i], first);
+      }
+      append_kv(out, "overhead_transfer", report.times.overhead.transfer,
+                first);
+      append_kv(out, "overhead_merge", report.times.overhead.merge, first);
+      append_kv(out, "overhead_output", report.times.overhead.output, first);
+      append_kv(out, "overhead_total", report.times.overhead.total(), first);
+      append_kv(out, "step_total", report.times.step_total(), first);
+      append_kv(out, "end_to_end", report.times.end_to_end(), first);
     }
-    append_kv(out, "overhead_transfer", report.times.overhead.transfer, first);
-    append_kv(out, "overhead_merge", report.times.overhead.merge, first);
-    append_kv(out, "overhead_output", report.times.overhead.output, first);
-    append_kv(out, "overhead_total", report.times.overhead.total(), first);
-    append_kv(out, "step_total", report.times.step_total(), first);
-    append_kv(out, "end_to_end", report.times.end_to_end(), first);
+    for (const auto& [k, v] : report.extra_times) {
+      append_kv(out, json_escape(k).c_str(), v, first);
+    }
     out += "}";
   }
 
@@ -209,6 +215,9 @@ void print_report(std::FILE* out, const RunReport& report) {
                  report.times.step_total());
     std::fprintf(out, "  %-52s %9.4f s\n", "End-to-end runtime",
                  report.times.end_to_end());
+  }
+  for (const auto& [k, v] : report.extra_times) {
+    std::fprintf(out, "  %-52s %9.4f s\n", k.c_str(), v);
   }
   if (!report.counters.empty()) {
     std::fprintf(out, "counters:\n");

@@ -29,6 +29,14 @@ struct RunReport {
   StepTimes times;
   bool has_times = false;
 
+  /// Additional named timings emitted into "times_s" alongside (or
+  /// instead of) the step breakdown -- for benches whose wall times do
+  /// not map onto Steps 0-4 (e.g. checkpoint base vs journaled walls).
+  /// Keys share the times_s namespace, so zh_perf diffs them like any
+  /// step timing; avoid colliding with step0..4/overhead_*/step_total/
+  /// end_to_end.
+  std::vector<std::pair<std::string, double>> extra_times;
+
   /// Exact work counters (WorkCounters flattened by the caller, plus
   /// anything run-specific).
   std::vector<std::pair<std::string, std::uint64_t>> counters;

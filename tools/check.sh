@@ -28,7 +28,7 @@ CTEST_PARALLEL="${CTEST_PARALLEL:-${JOBS}}"
 # fault-injection and timeout/heartbeat paths), the Step-4 refinement
 # strategies (parallel edge-index build + scanline kernels), and the
 # stress mix.
-TSAN_FILTER='*ThreadPool*:*Primitive*:*Comm*:*Partition*:*Cluster*:*Stress*:*Device*:*Fault*:*Obs*:*Refine*:*Checkpoint*'
+TSAN_FILTER='*ThreadPool*:*Primitive*:*Comm*:*Partition*:*Cluster*:*Stress*:*Device*:*Fault*:*Obs*:*Refine*:*Checkpoint*:*TraceCausal*'
 
 # Fault-tolerance suites: deterministic fault injection, timeout/retry,
 # straggler recovery, corruption-detecting I/O, the parser corpus, and
@@ -256,6 +256,37 @@ run_obs() {
     --metrics "${tmp}/cluster.metrics.json"
   ./build-dev/tools/validate_obs metrics "${tmp}/cluster.metrics.json" \
     --require-ranks 3
+
+  log "merged cluster trace: causal flow graph + critical path (dev)"
+  # A fault-injected 4-rank run must still yield ONE merged trace whose
+  # flow edges all resolve (zh_trace exits nonzero on a dangling recv)
+  # and whose critical path tiles the wall clock. Span coverage gets a
+  # lower floor than the single-process gate: the crashed rank's window
+  # is a legitimate instrumentation gap.
+  ./build-dev/tools/zhist hist "${tmp}/dem.zgrid" "${tmp}/zones.tsv" \
+    -o "${tmp}/hist-trace.csv" --bins 256 --tile 64 --ranks 4 \
+    --partitions 4x4 \
+    --fault-plan "seed=5,drop=0.05,crash=2@partition_done" \
+    --trace "${tmp}/cluster.trace.json" \
+    --metrics "${tmp}/trace.metrics.json"
+  ./build-dev/tools/validate_obs trace "${tmp}/cluster.trace.json" \
+    --min-coverage "${ZH_OBS_CLUSTER_MIN_COVERAGE:-80}"
+  ./build-dev/tools/zh_trace/zh_trace "${tmp}/cluster.trace.json" \
+    --min-coverage 0.95 --report "${tmp}/cluster.critpath.json" \
+    --run-report "${tmp}/trace.metrics.json"
+
+  log "bench regression differ gates (zh_perf)"
+  # Committed baselines compared against themselves must pass ...
+  ./build-dev/tools/zh_perf/zh_perf --baseline-dir . --dir .
+  # ... and a synthetically regressed copy must fail the gate.
+  mkdir -p "${tmp}/perf-regressed"
+  sed 's/"step_total":/"step_total":9e9,"zz_synthetic_orig":/' \
+    BENCH_table2.json > "${tmp}/perf-regressed/BENCH_table2.json"
+  if ./build-dev/tools/zh_perf/zh_perf BENCH_table2.json \
+    "${tmp}/perf-regressed/BENCH_table2.json" >/dev/null; then
+    echo "zh_perf accepted a synthetically regressed report" >&2
+    return 1
+  fi
 
   log "kill-switch build (ZH_OBS=OFF)"
   configure_and_build obs-off

@@ -1,14 +1,18 @@
 // validate_obs: schema checker for the observability outputs.
 //
 //   validate_obs trace <file> [--min-coverage PCT]
-//     Chrome trace_event JSON: structural check of every event, then a
-//     coverage check -- the union of all other "X" spans clipped to the
-//     longest span's window must cover at least PCT (default 95) percent
-//     of it. Catches both malformed traces and instrumentation gaps
-//     (a pipeline phase nobody wrapped in a span).
+//     Chrome trace_event JSON: structural check of every event ("X"
+//     spans plus "s"/"f" flow-edge ends, which need a positive id),
+//     then a coverage check -- the union of all other "X" spans clipped
+//     to the longest span's window must cover at least PCT (default 95)
+//     percent of it. Catches both malformed traces and instrumentation
+//     gaps (a pipeline phase nobody wrapped in a span).
 //   validate_obs metrics <file> [--require-ranks N]
 //     zh-run-report-v1 JSON: schema + required keys; with
 //     --require-ranks, the per-rank table must exist and have N rows.
+//     Counters in validated families (journal.*, step4.*, comm.*) must
+//     come from the known-key inventory -- a typo'd or renamed counter
+//     fails instead of passing unvalidated.
 //
 // Exits 0 when valid, 1 with a one-line reason otherwise (CI asserts on
 // the exit code and shows the reason in the log).
@@ -60,6 +64,7 @@ int check_trace(const std::string& path, double min_coverage_pct) {
   };
   std::vector<Interval> spans;
   std::size_t complete_events = 0;
+  std::size_t flow_events = 0;
   for (std::size_t i = 0; i < events->arr.size(); ++i) {
     const JsonValue& e = events->arr[i];
     const JsonValue* ph = need(e, "ph");
@@ -74,6 +79,21 @@ int check_trace(const std::string& path, double min_coverage_pct) {
     if (ph->str == "M") continue;  // process_name metadata (no tid)
     if (!is_finite_number(need(e, "tid"))) {
       return fail("event " + std::to_string(i) + ": missing tid");
+    }
+    if (ph->str == "s" || ph->str == "f") {
+      // Flow-edge ends (comm send -> recv). Chrome binds them by id, so
+      // a missing or zero id silently detaches the arrow -- fail loudly.
+      const JsonValue* id = need(e, "id");
+      const JsonValue* ts = need(e, "ts");
+      if (!is_finite_number(id) || id->number <= 0) {
+        return fail("event " + std::to_string(i) + ": flow \"" + ph->str +
+                    "\" without positive id");
+      }
+      if (!is_finite_number(ts) || ts->number < 0) {
+        return fail("event " + std::to_string(i) + ": flow event bad ts");
+      }
+      ++flow_events;
+      continue;
     }
     if (ph->str != "X") {
       return fail("event " + std::to_string(i) + ": unexpected ph \"" +
@@ -123,9 +143,9 @@ int check_trace(const std::string& path, double min_coverage_pct) {
   }
   const double pct =
       window_us > 0.0 ? 100.0 * covered_us / window_us : 100.0;
-  std::printf("validate_obs: trace ok: %zu events, coverage %.1f%% of the "
-              "%.0f us root span\n",
-              complete_events, pct, window_us);
+  std::printf("validate_obs: trace ok: %zu spans, %zu flow ends, coverage "
+              "%.1f%% of the %.0f us root span\n",
+              complete_events, flow_events, pct, window_us);
   if (pct < min_coverage_pct) {
     return fail("span coverage " + std::to_string(pct) +
                 "% below required " + std::to_string(min_coverage_pct) + "%");
@@ -159,6 +179,42 @@ int check_metrics(const std::string& path, long require_ranks) {
   const JsonValue* counters = need(doc, "counters");
   if (counters != nullptr && !counters->is_object()) {
     return fail("counters is not an object");
+  }
+  if (counters != nullptr) {
+    // Validated families: every counter the code emits under these
+    // prefixes is listed here, so a typo'd or renamed counter fails
+    // instead of slipping through as a new unvalidated key. Families
+    // not listed (step1.*, lazy.*, ...) stay open for growth.
+    static const char* const kKnownCounters[] = {
+        "journal.resume_ms",       "journal.torn_bytes",
+        "journal.records_written", "journal.partitions_skipped",
+        "step4.edge_index_entries", "step4.pip_cell_tests",
+        "step4.pip_edge_tests",    "step4.cells_counted",
+        "step4.rows_scanned",      "step4.edges_in_band",
+        "step4.run_cells",
+        "comm.msgs_sent",          "comm.bytes_sent",
+        "comm.retries",            "comm.msgs_recovered",
+    };
+    static const char* const kValidatedFamilies[] = {"journal.", "step4.",
+                                                     "comm."};
+    for (const auto& [name, value] : counters->obj) {
+      bool in_family = false;
+      for (const char* prefix : kValidatedFamilies) {
+        if (name.rfind(prefix, 0) == 0) in_family = true;
+      }
+      if (!in_family) continue;
+      bool known = false;
+      for (const char* key : kKnownCounters) {
+        if (name == key) known = true;
+      }
+      if (!known) {
+        return fail("counter \"" + name +
+                    "\" not in the known-key inventory for its family");
+      }
+      if (!value.is_number() || value.number < 0) {
+        return fail("counter \"" + name + "\" is not a non-negative number");
+      }
+    }
   }
   const JsonValue* metrics = need(doc, "metrics");
   if (metrics != nullptr) {

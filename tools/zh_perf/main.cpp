@@ -1,0 +1,138 @@
+// zh_perf -- bench regression differ for zh-run-report-v1 files.
+//
+// Usage:
+//   zh_perf <baseline.json> <current.json> [options]
+//   zh_perf --baseline-dir <dir> --dir <dir> [options]
+//     (pairs files named BENCH_*.json by basename; a current file with
+//      no committed baseline is noted, not failed)
+//   options:
+//     --tol-pct <P>   fail when a timing grows more than P percent
+//                     (default 10; env ZH_PERF_TOL_PCT overrides)
+//     --min-s <S>     noise floor: keys where both sides are below S
+//                     seconds never fail (default 0.05)
+//
+// Exit codes: 0 = no regression; 1 = at least one timing regressed;
+// 2 = usage error or unreadable input.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "perf_diff.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: zh_perf <baseline.json> <current.json> |\n"
+               "       zh_perf --baseline-dir <dir> --dir <dir>\n"
+               "       [--tol-pct P] [--min-s S]\n");
+  return 2;
+}
+
+/// Compare one baseline/current file pair; returns regression count.
+std::size_t diff_pair(const std::string& base_path,
+                      const std::string& cur_path,
+                      const zh::perf::PerfOptions& opts) {
+  const zh::obs::JsonValue base = zh::obs::parse_json_file(base_path);
+  const zh::obs::JsonValue cur = zh::obs::parse_json_file(cur_path);
+  const zh::perf::PerfComparison cmp =
+      zh::perf::compare_reports(base, cur, opts);
+  std::printf("== %s vs %s\n", base_path.c_str(), cur_path.c_str());
+  for (const zh::perf::PerfEntry& e : cmp.entries) {
+    const char* verdict = e.regressed        ? "REGRESSED"
+                          : e.below_floor    ? "noise-floor"
+                          : e.delta_pct < 0  ? "improved"
+                                             : "ok";
+    std::printf("  %-24s %10.4fs -> %10.4fs  %+8.2f%%  %s\n", e.key.c_str(),
+                e.base_s, e.cur_s, e.delta_pct, verdict);
+  }
+  for (const std::string& note : cmp.notes) {
+    std::printf("  note: %s\n", note.c_str());
+  }
+  return cmp.regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  zh::perf::PerfOptions opts;
+  if (const char* env = std::getenv("ZH_PERF_TOL_PCT");
+      env != nullptr && *env != '\0') {
+    opts.tol_pct = std::atof(env);
+  }
+  std::string baseline_dir;
+  std::string current_dir;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tol-pct" && i + 1 < argc) {
+      opts.tol_pct = std::atof(argv[++i]);
+    } else if (arg == "--min-s" && i + 1 < argc) {
+      opts.min_seconds = std::atof(argv[++i]);
+    } else if (arg == "--baseline-dir" && i + 1 < argc) {
+      baseline_dir = argv[++i];
+    } else if (arg == "--dir" && i + 1 < argc) {
+      current_dir = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  try {
+    std::size_t regressions = 0;
+    if (!baseline_dir.empty() || !current_dir.empty()) {
+      if (baseline_dir.empty() || current_dir.empty() || !files.empty()) {
+        return usage();
+      }
+      namespace fs = std::filesystem;
+      std::vector<std::string> names;
+      for (const fs::directory_entry& entry :
+           fs::directory_iterator(current_dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 &&
+            entry.path().extension() == ".json") {
+          names.push_back(name);
+        }
+      }
+      std::sort(names.begin(), names.end());
+      if (names.empty()) {
+        std::fprintf(stderr, "zh_perf: no BENCH_*.json files in %s\n",
+                     current_dir.c_str());
+        return 2;
+      }
+      for (const std::string& name : names) {
+        const fs::path base_path = fs::path(baseline_dir) / name;
+        if (!fs::exists(base_path)) {
+          std::printf("== %s: no committed baseline, skipped\n",
+                      name.c_str());
+          continue;
+        }
+        regressions += diff_pair(base_path.string(),
+                                 (fs::path(current_dir) / name).string(),
+                                 opts);
+      }
+    } else {
+      if (files.size() != 2) return usage();
+      regressions = diff_pair(files[0], files[1], opts);
+    }
+    if (regressions > 0) {
+      std::fprintf(stderr,
+                   "zh_perf: FAILED: %zu timing(s) regressed beyond "
+                   "%.1f%%\n",
+                   regressions, opts.tol_pct);
+      return 1;
+    }
+    std::printf("zh_perf: OK (tolerance %.1f%%, floor %.3fs)\n",
+                opts.tol_pct, opts.min_seconds);
+    return 0;
+  } catch (const zh::Error& e) {
+    std::fprintf(stderr, "zh_perf: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,97 @@
+#include "perf_diff.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace zh::perf {
+
+namespace {
+
+const obs::JsonValue* times_block(const obs::JsonValue& report,
+                                  const char* label,
+                                  std::vector<std::string>& notes) {
+  if (!report.is_object()) {
+    notes.push_back(detail::format_parts(label, ": not a JSON object"));
+    return nullptr;
+  }
+  if (const obs::JsonValue* schema = report.find("schema");
+      schema == nullptr || !schema->is_string() ||
+      schema->str != "zh-run-report-v1") {
+    notes.push_back(
+        detail::format_parts(label, ": schema is not zh-run-report-v1"));
+  }
+  const obs::JsonValue* times = report.find("times_s");
+  if (times == nullptr || !times->is_object()) {
+    notes.push_back(detail::format_parts(label, ": no times_s block"));
+    return nullptr;
+  }
+  return times;
+}
+
+}  // namespace
+
+PerfComparison compare_reports(const obs::JsonValue& base,
+                               const obs::JsonValue& cur,
+                               const PerfOptions& opts) {
+  PerfComparison out;
+  const obs::JsonValue* base_times = times_block(base, "baseline", out.notes);
+  const obs::JsonValue* cur_times = times_block(cur, "current", out.notes);
+  if (base_times == nullptr || cur_times == nullptr) return out;
+
+  for (const auto& [key, base_v] : base_times->obj) {
+    if (!base_v.is_number()) continue;
+    const obs::JsonValue* cur_v = cur_times->find(key);
+    if (cur_v == nullptr || !cur_v->is_number()) {
+      out.notes.push_back(
+          detail::format_parts("key '", key, "' missing from current report"));
+      continue;
+    }
+    PerfEntry e;
+    e.key = key;
+    e.base_s = base_v.number;
+    e.cur_s = cur_v->number;
+    e.below_floor =
+        e.base_s < opts.min_seconds && e.cur_s < opts.min_seconds;
+    if (e.base_s > 0.0) {
+      e.delta_pct = (e.cur_s - e.base_s) / e.base_s * 100.0;
+    }
+    e.regressed = !e.below_floor && e.base_s > 0.0 &&
+                  e.cur_s > e.base_s * (1.0 + opts.tol_pct / 100.0);
+    if (e.regressed) ++out.regressions;
+    out.entries.push_back(std::move(e));
+  }
+  for (const auto& [key, cur_v] : cur_times->obj) {
+    if (!cur_v.is_number()) continue;
+    if (base_times->find(key) == nullptr) {
+      out.notes.push_back(detail::format_parts(
+          "key '", key, "' missing from baseline report"));
+    }
+  }
+
+  // Counter drift is informational: algorithmic changes legitimately
+  // move work counts, so it never gates, but a silent 2x in
+  // pip_edge_tests is worth a line in the output.
+  const obs::JsonValue* base_counters =
+      base.is_object() ? base.find("counters") : nullptr;
+  const obs::JsonValue* cur_counters =
+      cur.is_object() ? cur.find("counters") : nullptr;
+  if (base_counters != nullptr && base_counters->is_object() &&
+      cur_counters != nullptr && cur_counters->is_object()) {
+    for (const auto& [key, base_v] : base_counters->obj) {
+      const obs::JsonValue* cur_v = cur_counters->find(key);
+      if (!base_v.is_number() || cur_v == nullptr || !cur_v->is_number()) {
+        continue;
+      }
+      if (base_v.number != cur_v->number) {
+        out.notes.push_back(detail::format_parts(
+            "counter '", key, "' changed: ",
+            static_cast<long long>(base_v.number), " -> ",
+            static_cast<long long>(cur_v->number), " (informational)"));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace zh::perf

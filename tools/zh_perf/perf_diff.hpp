@@ -1,0 +1,53 @@
+// Comparison logic behind the zh_perf tool: diff two zh-run-report-v1
+// documents (the BENCH_*.json files the bench harness writes) and flag
+// regressions beyond a configurable threshold. Library + thin CLI
+// split so tests can pin the comparison semantics in-process.
+//
+// Only the "times_s" block gates: wall-clock keys are what a perf
+// regression means. Work counters and RSS can change legitimately with
+// algorithmic PRs and are surfaced as notes, never failures. Timings
+// below the noise floor (both sides under min_seconds) are reported
+// but cannot regress -- micro-times on shared CI machines are jitter,
+// not signal.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace zh::perf {
+
+struct PerfOptions {
+  /// A timing key regresses when current > baseline * (1 + tol_pct/100).
+  double tol_pct = 10.0;
+  /// Keys where both sides are below this many seconds are noise-floor:
+  /// compared, printed, never failed.
+  double min_seconds = 0.05;
+};
+
+/// One compared timing key.
+struct PerfEntry {
+  std::string key;
+  double base_s = 0.0;
+  double cur_s = 0.0;
+  double delta_pct = 0.0;   ///< (cur - base) / base * 100; 0 when base == 0
+  bool below_floor = false; ///< both sides under min_seconds
+  bool regressed = false;
+};
+
+struct PerfComparison {
+  std::vector<PerfEntry> entries;    ///< times_s keys present in both
+  std::size_t regressions = 0;
+  std::vector<std::string> notes;    ///< schema/key mismatches, counter drift
+};
+
+/// Compare two parsed zh-run-report-v1 documents. A missing or
+/// non-object times_s block on either side yields an empty comparison
+/// with a note (not an error: counter-only reports are legal).
+[[nodiscard]] PerfComparison compare_reports(const obs::JsonValue& base,
+                                             const obs::JsonValue& cur,
+                                             const PerfOptions& opts);
+
+}  // namespace zh::perf

@@ -1,0 +1,146 @@
+// zh_trace -- causal analyzer for merged cluster traces.
+//
+// Usage:
+//   zh_trace <merged_trace.json> [options]
+//     --report <out.json>      write a zh-trace-report-v1 document
+//     --run-report <run.json>  join comm.* counters of a zh-run-report-v1
+//                              file into the retry attribution
+//     --min-coverage <frac>    fail unless the critical path tiles at
+//                              least this fraction of the wall time
+//     --validate-only          only check the flow graph, skip analysis
+//
+// Exit codes: 0 = ok; 1 = invalid flow graph (dangling recv), dropped
+// events, or coverage below threshold; 2 = usage or unreadable input.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "trace_analysis.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: zh_trace <merged_trace.json> [--report out.json] "
+               "[--run-report run.json] [--min-coverage frac] "
+               "[--validate-only]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string report_path;
+  std::string run_report_path;
+  double min_coverage = 0.0;
+  bool validate_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg == "--run-report" && i + 1 < argc) {
+      run_report_path = argv[++i];
+    } else if (arg == "--min-coverage" && i + 1 < argc) {
+      min_coverage = std::atof(argv[++i]);
+    } else if (arg == "--validate-only") {
+      validate_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (trace_path.empty()) return usage();
+
+  try {
+    const zh::trace::TraceModel model = zh::trace::load_trace_file(trace_path);
+    const zh::trace::FlowCheck flows = zh::trace::validate_flows(model);
+    std::printf("zh_trace: %s: %zu spans, %zu sends, %zu recvs\n",
+                trace_path.c_str(), model.spans.size(), flows.sends,
+                flows.recvs);
+    for (const std::string& err : flows.errors) {
+      std::fprintf(stderr, "zh_trace: ERROR: %s\n", err.c_str());
+    }
+    if (model.dropped_events > 0) {
+      std::fprintf(stderr,
+                   "zh_trace: ERROR: trace is truncated (%llu dropped "
+                   "events); analysis would be misleading\n",
+                   static_cast<unsigned long long>(model.dropped_events));
+    }
+    bool failed = !flows.ok() || model.dropped_events > 0;
+    if (!validate_only) {
+      const zh::trace::CriticalPath cp = zh::trace::critical_path(model);
+      const std::vector<zh::trace::RankStats> ranks =
+          zh::trace::rank_breakdown(model, cp);
+      zh::obs::JsonValue run_report;
+      const zh::obs::JsonValue* run_report_ptr = nullptr;
+      if (!run_report_path.empty()) {
+        run_report = zh::obs::parse_json_file(run_report_path);
+        run_report_ptr = &run_report;
+      }
+      const zh::trace::RetryAttribution retries =
+          zh::trace::join_retries(model, run_report_ptr);
+
+      std::printf(
+          "critical path: wall %lld us = work %lld + transit %lld + idle "
+          "%lld (coverage %.4f)\n",
+          static_cast<long long>(cp.wall_us),
+          static_cast<long long>(cp.work_us),
+          static_cast<long long>(cp.transit_us),
+          static_cast<long long>(cp.idle_us), cp.coverage);
+      for (const zh::trace::RankStats& r : ranks) {
+        std::printf(
+            "  rank %3d: %6zu spans, busy %lld us (%.1f%%), comm-wait %lld "
+            "us, crit-work %lld us\n",
+            r.rank, r.span_count, static_cast<long long>(r.busy_us),
+            r.utilization * 100.0, static_cast<long long>(r.comm_wait_us),
+            static_cast<long long>(r.crit_work_us));
+      }
+      if (retries.comm_retries > 0 || retries.unreceived_sends > 0) {
+        std::printf(
+            "retries: %llu of %llu msgs (rate %.3f), %llu recovered, %zu "
+            "sends never received\n",
+            static_cast<unsigned long long>(retries.comm_retries),
+            static_cast<unsigned long long>(retries.comm_msgs_sent),
+            retries.retry_rate,
+            static_cast<unsigned long long>(retries.comm_msgs_recovered),
+            retries.unreceived_sends);
+      }
+      if (!report_path.empty()) {
+        const std::string json =
+            zh::trace::trace_report_json(model, flows, cp, ranks, retries);
+        std::ofstream out(report_path,
+                          std::ios::binary | std::ios::trunc);
+        if (!out.good()) {
+          std::fprintf(stderr, "zh_trace: cannot write %s\n",
+                       report_path.c_str());
+          return 2;
+        }
+        out.write(json.data(), static_cast<std::streamsize>(json.size()));
+        out.flush();
+        std::printf("wrote %s\n", report_path.c_str());
+      }
+      if (cp.coverage + 1e-9 < min_coverage) {
+        std::fprintf(stderr,
+                     "zh_trace: ERROR: critical-path coverage %.4f below "
+                     "required %.4f\n",
+                     cp.coverage, min_coverage);
+        failed = true;
+      }
+    }
+    if (failed) {
+      std::fprintf(stderr, "zh_trace: FAILED\n");
+      return 1;
+    }
+    std::printf("zh_trace: OK\n");
+    return 0;
+  } catch (const zh::Error& e) {
+    std::fprintf(stderr, "zh_trace: %s\n", e.what());
+    return 2;
+  }
+}

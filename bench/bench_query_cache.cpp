@@ -1,0 +1,159 @@
+// Query-cache speedup gate (the QueryEngine tentpole).
+//
+// Serves the same zonal query twice against one engine -- a cold pass
+// that fills the Step-1 tile-histogram cache, then a warm pass that
+// must be served entirely from it -- plus a different-zone-layer pass
+// showing cross-query sharing. Prints best-of-N machine-readable lines:
+//
+//   ZH_QUERY_CACHE_COLD_STEP1_SECONDS=<seconds>
+//   ZH_QUERY_CACHE_WARM_STEP1_SECONDS=<seconds>
+//   ZH_QUERY_CACHE_SPEEDUP_X=<cold/warm>
+//
+// Exits nonzero when
+//  * any cached result differs from a fresh ZonalPipeline::run (the
+//    cache must be bit-exact, never approximate), or
+//  * the warm pass issued any cache miss, or
+//  * warm Step-1 is not at least ZH_QUERY_CACHE_MIN_SPEEDUP times
+//    faster than cold Step-1 (default 2; the repeated-zone serving
+//    claim this bench pins).
+//
+// Knobs: ZH_SCALE (default 60), ZH_ZONES (128), ZH_BINS (256),
+// ZH_TILE (32), ZH_REPS (5), ZH_QUERY_CACHE_MIN_SPEEDUP (2).
+//
+// Tile size defaults to 32 rather than the paper's per-scale setting:
+// the cache amortizes the per-tile cell scan, so the win scales with
+// cells-per-tile; 6x6 tiles leave warm passes dominated by the same
+// per-tile walk the cold pass pays.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/query_engine.hpp"
+
+int main() {
+  using namespace zh;
+  const int scale = bench::env_int("ZH_SCALE", 60);
+  const int zones = bench::env_int("ZH_ZONES", 128);
+  const BinIndex bins =
+      static_cast<BinIndex>(bench::env_int("ZH_BINS", 256));
+  const int reps = std::max(1, bench::env_int("ZH_REPS", 5));
+  const double min_speedup = static_cast<double>(
+      bench::env_int("ZH_QUERY_CACHE_MIN_SPEEDUP", 2));
+
+  const conus::RasterSpec spec = conus::table1()[0];
+  const DemRaster raster = conus::generate_raster(spec, scale);
+  const PolygonSet counties = conus::generate_county_layer(zones, 7);
+  const PolygonSet other_counties = conus::generate_county_layer(zones, 8);
+  const std::int64_t tile = bench::env_int("ZH_TILE", 32);
+
+  bench::print_header("query-cache speedup: " + spec.name + " at scale " +
+                      std::to_string(scale));
+  std::printf("raster %lldx%lld, %d zones x2 layers, %u bins, tile %lld, "
+              "%d reps\n",
+              static_cast<long long>(raster.rows()),
+              static_cast<long long>(raster.cols()), zones, bins,
+              static_cast<long long>(tile), reps);
+
+  Device device;
+  QueryEngineConfig cfg;
+  cfg.tile_size = tile;
+
+  // Reference result: the cache is only correct if it reproduces the
+  // uncached pipeline bit for bit.
+  const ZonalPipeline pipe(device, {.tile_size = tile, .bins = bins});
+  const ZonalResult reference = pipe.run(raster, counties);
+  const ZonalResult reference_other = pipe.run(raster, other_counties);
+
+  double cold_s = 1e300;
+  double warm_s = 1e300;
+  double cold_step1_s = 1e300;
+  double warm_step1_s = 1e300;
+  double shared_step1_s = 1e300;
+  StepTimes cold_times;
+  WorkCounters cold_work;
+  int failures = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    // Fresh engine per rep: each rep measures one cold->warm transition.
+    QueryEngine engine(device, cfg);
+    const RasterHandle h = engine.add_raster(raster);
+    const ZonalQuery q{.raster = h, .zones = &counties, .bins = bins};
+
+    Timer timer;
+    const QueryResult cold = engine.run(q);
+    const double cs = timer.seconds();
+    timer.reset();
+    const QueryResult warm = engine.run(q);
+    const double ws = timer.seconds();
+    const QueryResult shared = engine.run(
+        {.raster = h, .zones = &other_counties, .bins = bins});
+
+    if (cold.per_polygon != reference.per_polygon ||
+        warm.per_polygon != reference.per_polygon) {
+      std::printf("FAIL rep %d: cached result differs from pipeline\n", rep);
+      ++failures;
+    }
+    if (shared.per_polygon != reference_other.per_polygon) {
+      std::printf("FAIL rep %d: cross-zone result differs from pipeline\n",
+                  rep);
+      ++failures;
+    }
+    if (warm.cache_misses != 0) {
+      std::printf("FAIL rep %d: warm pass missed %llu times\n", rep,
+                  static_cast<unsigned long long>(warm.cache_misses));
+      ++failures;
+    }
+    if (cs < cold_s) {
+      cold_s = cs;
+      cold_times = cold.times;
+      cold_work = cold.work;
+    }
+    warm_s = std::min(warm_s, ws);
+    cold_step1_s = std::min(cold_step1_s, cold.times.seconds[1]);
+    warm_step1_s = std::min(warm_step1_s, warm.times.seconds[1]);
+    shared_step1_s = std::min(shared_step1_s, shared.times.seconds[1]);
+  }
+
+  const double speedup =
+      warm_step1_s > 0.0 ? cold_step1_s / warm_step1_s : 1e9;
+  std::printf("\n%-28s %10s\n", "", "best-of-N");
+  std::printf("%-28s %9.4f s\n", "cold end-to-end", cold_s);
+  std::printf("%-28s %9.4f s\n", "warm end-to-end", warm_s);
+  std::printf("%-28s %9.4f s\n", "cold Step 1 (fill)", cold_step1_s);
+  std::printf("%-28s %9.4f s\n", "warm Step 1 (cache)", warm_step1_s);
+  std::printf("%-28s %9.4f s\n", "other-zones Step 1 (shared)",
+              shared_step1_s);
+  std::printf("%-28s %9.1fx (gate: >= %.0fx)\n", "Step-1 speedup", speedup,
+              min_speedup);
+
+  std::printf("ZH_QUERY_CACHE_COLD_STEP1_SECONDS=%.6f\n", cold_step1_s);
+  std::printf("ZH_QUERY_CACHE_WARM_STEP1_SECONDS=%.6f\n", warm_step1_s);
+  std::printf("ZH_QUERY_CACHE_SPEEDUP_X=%.2f\n", speedup);
+
+  bench::write_bench_report(
+      "BENCH_query_cache.json", "bench_query_cache",
+      spec.name + " repeated-zone queries",
+      {{"scale", std::to_string(scale)},
+       {"zones", std::to_string(zones)},
+       {"bins", std::to_string(bins)},
+       {"tile", std::to_string(tile)},
+       {"reps", std::to_string(reps)}},
+      &cold_times, &cold_work,
+      {{"cold_s", cold_s},
+       {"warm_s", warm_s},
+       {"cold_step1_s", cold_step1_s},
+       {"warm_step1_s", warm_step1_s},
+       {"shared_step1_s", shared_step1_s},
+       {"speedup_x", speedup}});
+
+  if (failures > 0) return 1;
+  if (speedup < min_speedup) {
+    std::printf("FAIL: warm Step 1 only %.2fx faster (need %.0fx)\n",
+                speedup, min_speedup);
+    return 1;
+  }
+  std::printf("OK: warm queries serve Step 1 from cache %.1fx faster\n",
+              speedup);
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "cluster/fault.hpp"
 
 #include <array>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -40,10 +41,13 @@ constexpr std::array<std::pair<std::string_view, CrashPoint>, 7> kPointNames{
 
 double parse_prob(std::string_view spec, std::size_t offset,
                   std::string_view key, std::string_view value) {
-  const std::string v(value);
-  char* end = nullptr;
-  const double p = std::strtod(v.c_str(), &end);
-  if (v.empty() || end != v.c_str() + v.size() || p < 0.0 || p > 1.0) {
+  // from_chars, not strtod: strtod honors LC_NUMERIC, so a comma-decimal
+  // locale would silently truncate "0.5" to 0.
+  double p = 0.0;
+  const auto [end, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), p);
+  if (value.empty() || ec != std::errc() ||
+      end != value.data() + value.size() || !(p >= 0.0 && p <= 1.0)) {
     parse_fail(spec, offset,
                detail::format_parts("key '", key, "' needs a probability in "
                                     "[0,1], got '", value, "'"));

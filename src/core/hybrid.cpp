@@ -26,7 +26,7 @@ std::size_t split_point(const PolygonTileGroups& groups,
   for (std::size_t g = 0; g < groups.group_count(); ++g) {
     const auto [p_f, p_t] = soa.vertex_range(groups.pid_v[g]);
     double cells = 0.0;
-    for (std::uint32_t k = 0; k < groups.num_v[g]; ++k) {
+    for (std::uint64_t k = 0; k < groups.num_v[g]; ++k) {
       cells += static_cast<double>(
           tiling.tile_window(groups.tid_v[groups.pos_v[g] + k])
               .cell_count());
@@ -50,7 +50,7 @@ PolygonTileGroups slice_groups(const PolygonTileGroups& g,
                                std::size_t begin, std::size_t end) {
   PolygonTileGroups out;
   if (begin >= end) return out;
-  const std::uint32_t base = g.pos_v[begin];
+  const std::uint64_t base = g.pos_v[begin];
   out.pid_v.assign(g.pid_v.begin() + begin, g.pid_v.begin() + end);
   out.num_v.assign(g.num_v.begin() + begin, g.num_v.begin() + end);
   out.pos_v.resize(end - begin);

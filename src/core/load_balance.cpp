@@ -1,12 +1,29 @@
 #include "core/load_balance.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "core/step2_pairing.hpp"
 #include "grid/tiling.hpp"
 
 namespace zh {
+
+namespace {
+
+/// Both LPT and the imbalance diagnostic assume costs behave like work:
+/// a NaN cost poisons every load comparison (min_element and
+/// max_element are unordered under NaN), and a negative cost can drive
+/// a rank's load below zero so it soaks up every remaining partition.
+void require_valid_costs(const std::vector<double>& costs) {
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    ZH_REQUIRE(std::isfinite(costs[i]) && costs[i] >= 0.0,
+               "partition cost ", i, " must be finite and >= 0, got ",
+               costs[i]);
+  }
+}
+
+}  // namespace
 
 std::vector<double> estimate_partition_costs(
     const std::vector<RasterPartition>& parts,
@@ -49,6 +66,7 @@ void assign_least_loaded(std::vector<RasterPartition>& parts,
   ZH_REQUIRE(ranks >= 1, "need at least one rank");
   ZH_REQUIRE(costs.size() == parts.size(),
              "one cost per partition required");
+  require_valid_costs(costs);
   std::vector<std::size_t> order(parts.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -69,12 +87,20 @@ double assignment_imbalance(const std::vector<RasterPartition>& parts,
   ZH_REQUIRE(ranks >= 1, "need at least one rank");
   ZH_REQUIRE(costs.size() == parts.size(),
              "one cost per partition required");
+  require_valid_costs(costs);
   std::vector<double> load(ranks, 0.0);
   double total = 0.0;
   for (std::size_t i = 0; i < parts.size(); ++i) {
+    ZH_REQUIRE(parts[i].owner < ranks, "partition ", i, " owned by rank ",
+               parts[i].owner, " but only ", ranks, " ranks exist");
     load[parts[i].owner] += costs[i];
     total += costs[i];
   }
+  // All-zero costs (empty coverage) are perfectly balanced by
+  // definition; without the guard 0/0 would return NaN. With more ranks
+  // than partitions the mean still divides by `ranks`, so the minimum
+  // achievable ratio is ranks / partitions -- a true statement about
+  // idle ranks, not an artifact.
   const double mean = total / static_cast<double>(ranks);
   const double worst = *std::max_element(load.begin(), load.end());
   return mean > 0.0 ? worst / mean : 1.0;

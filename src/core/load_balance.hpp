@@ -36,13 +36,20 @@ struct PartitionCostModel {
     const PartitionCostModel& model = {});
 
 /// LPT greedy: sort partitions by cost descending, place each on the
-/// currently least-loaded rank. Mutates owners.
+/// currently least-loaded rank. Mutates owners. Costs must be finite
+/// and non-negative (NaN makes load comparisons unordered; negative
+/// work is meaningless) -- violations throw InvalidArgument.
 void assign_least_loaded(std::vector<RasterPartition>& parts,
                          std::size_t ranks,
                          const std::vector<double>& costs);
 
 /// Makespan ratio of an assignment: max rank load / mean rank load
 /// (1.0 = perfectly balanced). Diagnostic for the Fig.-6 tail.
+/// Edge cases are defined: an all-zero cost vector returns exactly 1.0
+/// (nothing to balance), and with ranks > partitions the ratio bottoms
+/// out at ranks / partitions because the spare ranks sit idle. Costs
+/// must be finite and non-negative, and every partition's owner must be
+/// < ranks -- violations throw InvalidArgument.
 [[nodiscard]] double assignment_imbalance(
     const std::vector<RasterPartition>& parts, std::size_t ranks,
     const std::vector<double>& costs);

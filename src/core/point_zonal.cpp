@@ -101,8 +101,8 @@ std::vector<PointZonalRow> zonal_point_summation(
         const std::size_t idx = ctx.block_id();
         const PolygonId pid = pairing.inside.pid_v[idx];
         PointZonalRow acc;
-        const std::uint32_t pos = pairing.inside.pos_v[idx];
-        for (std::uint32_t k = 0; k < pairing.inside.num_v[idx]; ++k) {
+        const std::uint64_t pos = pairing.inside.pos_v[idx];
+        for (std::uint64_t k = 0; k < pairing.inside.num_v[idx]; ++k) {
           const TileId tile = pairing.inside.tid_v[pos + k];
           for (std::uint32_t i = index.tile_begin[tile];
                i < index.tile_begin[tile + 1]; ++i) {
@@ -125,8 +125,8 @@ std::vector<PointZonalRow> zonal_point_summation(
         const auto [p_f, p_t] = soa.vertex_range(pid);
         PointZonalRow acc;
         std::uint64_t tests = 0;
-        const std::uint32_t pos = pairing.intersect.pos_v[idx];
-        for (std::uint32_t k = 0; k < pairing.intersect.num_v[idx]; ++k) {
+        const std::uint64_t pos = pairing.intersect.pos_v[idx];
+        for (std::uint64_t k = 0; k < pairing.intersect.num_v[idx]; ++k) {
           const TileId tile = pairing.intersect.tid_v[pos + k];
           for (std::uint32_t i = index.tile_begin[tile];
                i < index.tile_begin[tile + 1]; ++i) {

@@ -75,16 +75,17 @@ PolygonTileGroups make_groups(std::span<const PolygonId> pids,
   PolygonTileGroups g;
   g.tid_v.assign(tids.begin(), tids.end());
 
-  // reduce_by_key: per-polygon tile counts (Fig. 4 middle).
-  std::vector<std::uint32_t> ones(pids.size(), 1);
-  auto [keys, counts] = prim::reduce_by_key<PolygonId, std::uint32_t>(
-      pids, std::span<const std::uint32_t>(ones));
+  // reduce_by_key: per-polygon tile counts (Fig. 4 middle). 64-bit so
+  // the scan below cannot wrap past 2^32 pairs.
+  std::vector<std::uint64_t> ones(pids.size(), 1);
+  auto [keys, counts] = prim::reduce_by_key<PolygonId, std::uint64_t>(
+      pids, std::span<const std::uint64_t>(ones));
   g.pid_v = std::move(keys);
   g.num_v = std::move(counts);
 
   // exclusive scan: group start offsets (Fig. 4 bottom).
   g.pos_v.resize(g.num_v.size());
-  prim::exclusive_scan<std::uint32_t>(g.num_v, g.pos_v, 0);
+  prim::exclusive_scan<std::uint64_t>(g.num_v, g.pos_v, 0);
   return g;
 }
 

@@ -28,10 +28,13 @@ struct TilePolygonPairs {
 
 /// The dispatch arrays of Fig. 4 for one relation class: entry i says
 /// polygon pid_v[i] owns the num_v[i] tiles at tid_v[pos_v[i] ...].
+/// num_v/pos_v are 64-bit: pair_count() is a size_t, and on large
+/// rasters x dense polygon sets the exclusive scan feeding pos_v can
+/// exceed 2^32 -- 32-bit offsets would wrap silently.
 struct PolygonTileGroups {
   std::vector<PolygonId> pid_v;
-  std::vector<std::uint32_t> num_v;
-  std::vector<std::uint32_t> pos_v;
+  std::vector<std::uint64_t> num_v;
+  std::vector<std::uint64_t> pos_v;
   std::vector<TileId> tid_v;
 
   [[nodiscard]] std::size_t group_count() const { return pid_v.size(); }

@@ -31,8 +31,8 @@ void aggregate_inside_tiles(Device& device, const PolygonTileGroups& inside,
         const std::size_t idx = ctx.block_id();
         ZH_DCHECK_BOUNDS(idx, inside.group_count());
         const PolygonId pid = inside.pid_v[idx];
-        const std::uint32_t num = inside.num_v[idx];
-        const std::uint32_t pos = inside.pos_v[idx];
+        const std::uint64_t num = inside.num_v[idx];
+        const std::uint64_t pos = inside.pos_v[idx];
         // Dispatch-array invariants from the Fig. 4 post-processing: the
         // group's tile slice lies within tid_v and every id addresses a
         // real histogram row.

@@ -226,8 +226,8 @@ RefineCounters refine_boundary_tiles(Device& device,
             const std::size_t idx = block.block_id();
             ZH_DCHECK_BOUNDS(idx, intersect.group_count());
             const PolygonId pid = intersect.pid_v[idx];
-            const std::uint32_t num = intersect.num_v[idx];
-            const std::uint32_t pos = intersect.pos_v[idx];
+            const std::uint64_t num = intersect.num_v[idx];
+            const std::uint64_t pos = intersect.pos_v[idx];
             ZH_DCHECK_BOUNDS(pid, polygon_hist.groups());
             ZH_ASSERT(static_cast<std::size_t>(pos) + num <=
                           intersect.pair_count(),
@@ -260,7 +260,7 @@ RefineCounters refine_boundary_tiles(Device& device,
       std::vector<PolygonId> pair_pid(intersect.pair_count());
       std::vector<std::uint32_t> pair_edges(intersect.pair_count());
       for (std::size_t g = 0; g < intersect.group_count(); ++g) {
-        for (std::uint32_t k = 0; k < intersect.num_v[g]; ++k) {
+        for (std::uint64_t k = 0; k < intersect.num_v[g]; ++k) {
           pair_pid[intersect.pos_v[g] + k] = intersect.pid_v[g];
           pair_edges[intersect.pos_v[g] + k] = group_edges[g];
         }

@@ -1,0 +1,233 @@
+#include "core/tile_cache.hpp"
+
+#include <bit>
+#include <condition_variable>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "cluster/fault.hpp"
+#include "common/contracts.hpp"
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
+namespace zh {
+
+namespace {
+
+std::uint64_t mix_u64(std::uint64_t h, std::uint64_t v) {
+  return splitmix64(h ^ v);
+}
+
+std::uint64_t mix_double(std::uint64_t h, double v) {
+  return mix_u64(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t hash_key(const TileHistKey& k) {
+  std::uint64_t h = mix_u64(0x54494C4543414348ull, k.raster_fp);
+  h = mix_u64(h, (static_cast<std::uint64_t>(k.band) << 32) | k.tile);
+  return mix_u64(h, k.binning_fp);
+}
+
+struct KeyHash {
+  std::size_t operator()(const TileHistKey& k) const {
+    return static_cast<std::size_t>(hash_key(k));
+  }
+};
+
+}  // namespace
+
+std::uint64_t fingerprint_raster(const DemRaster& raster) {
+  // Same recipe as the journal manifest's raster fingerprint (io/journal):
+  // structural fields mixed with a CRC-32 of the payload. Kept here as an
+  // independent implementation because core must not include io.
+  std::uint64_t h = mix_u64(0x5A4E414C9E3779B9ull, 1);
+  h = mix_u64(h, static_cast<std::uint64_t>(raster.rows()));
+  h = mix_u64(h, static_cast<std::uint64_t>(raster.cols()));
+  h = mix_double(h, raster.transform().origin_x());
+  h = mix_double(h, raster.transform().origin_y());
+  h = mix_double(h, raster.transform().cell_w());
+  h = mix_double(h, raster.transform().cell_h());
+  h = mix_u64(h, raster.nodata().has_value()
+                     ? 1ull + static_cast<std::uint64_t>(*raster.nodata())
+                     : 0ull);
+  const auto cells = raster.cells();
+  h = mix_u64(h, crc32(cells.data(), cells.size_bytes()));
+  return h;
+}
+
+std::uint64_t fingerprint_binning(std::int64_t tile_size, BinIndex bins) {
+  std::uint64_t h = mix_u64(0x42494E4E494E4746ull,
+                            static_cast<std::uint64_t>(tile_size));
+  return mix_u64(h, bins);
+}
+
+// ---------------------------------------------------------------------------
+
+struct TileCache::Shard {
+  struct Entry {
+    TileHistPtr hist;           ///< null while the fill is in flight
+    std::size_t bytes = 0;      ///< accounted once ready
+    bool filling = false;
+    /// Position in `lru` (valid only when ready; front = most recent).
+    std::list<TileHistKey>::iterator lru_pos;
+  };
+
+  mutable std::mutex mutex;
+  std::condition_variable ready_cv;  ///< signaled when any fill publishes
+  std::unordered_map<TileHistKey, Entry, KeyHash> entries;
+  std::list<TileHistKey> lru;  ///< ready keys, most-recently-used first
+  std::size_t bytes = 0;       ///< sum of ready entry bytes
+
+  // Stats (guarded by `mutex`).
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t evictions = 0;
+
+  /// Evict ready LRU entries until `bytes <= budget`. Entries still
+  /// filling are not in `lru` and therefore never evicted. The evicted
+  /// histograms stay alive through any TileHistPtr already handed out.
+  void evict_to_budget(std::size_t budget,
+                       std::atomic<std::uint64_t>& total_bytes) {
+    while (bytes > budget && !lru.empty()) {
+      const TileHistKey victim = lru.back();
+      lru.pop_back();
+      auto it = entries.find(victim);
+      ZH_ASSERT(it != entries.end(), "LRU key without a cache entry");
+      bytes -= it->second.bytes;
+      total_bytes.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+      entries.erase(it);
+      ++evictions;
+      ZH_COUNTER_ADD("cache.evictions", 1);
+    }
+  }
+};
+
+TileCache::TileCache(TileCacheConfig config)
+    : budget_bytes_(config.budget_bytes) {
+  std::size_t n = std::bit_ceil(std::max<std::size_t>(config.shards, 1));
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_mask_ = n - 1;
+  shard_budget_ = budget_bytes_ / n;
+}
+
+TileCache::~TileCache() = default;
+
+std::size_t TileCache::shard_count() const { return shards_.size(); }
+
+TileCache::Shard& TileCache::shard_for(const TileHistKey& key) const {
+  return *shards_[static_cast<std::size_t>(hash_key(key)) & shard_mask_];
+}
+
+TileHistPtr TileCache::get_or_fill(
+    const TileHistKey& key,
+    const std::function<std::vector<BinCount>()>& fill) {
+  ZH_REQUIRE(fill != nullptr, "tile cache fill function required");
+  Shard& shard = shard_for(key);
+  {
+    std::unique_lock lock(shard.mutex);
+    for (;;) {
+      auto it = shard.entries.find(key);
+      if (it == shard.entries.end()) break;  // miss: this thread fills
+      Shard::Entry& e = it->second;
+      if (!e.filling) {
+        // Hit: refresh recency and share the published histogram.
+        shard.lru.splice(shard.lru.begin(), shard.lru, e.lru_pos);
+        ++shard.hits;
+        ZH_COUNTER_ADD("cache.hits", 1);
+        return e.hist;
+      }
+      // In-flight fill for the same key: block-and-share. Wake on any
+      // publish/abort in this shard and re-check; if the filler failed
+      // and erased the entry, the find() above misses and we take over.
+      shard.ready_cv.wait(lock);
+    }
+    // Miss: claim the key with an in-flight guard; the fill itself runs
+    // outside the lock.
+    shard.entries.emplace(key, Shard::Entry{.hist = nullptr,
+                                            .bytes = 0,
+                                            .filling = true,
+                                            .lru_pos = shard.lru.end()});
+    ++shard.misses;
+    ZH_COUNTER_ADD("cache.misses", 1);
+  }
+
+  TileHistPtr hist;
+  try {
+    ZH_TRACE_SPAN("cache.fill", "query");
+    hist = std::make_shared<const std::vector<BinCount>>(fill());
+  } catch (...) {
+    // Abort the claim so a blocked waiter (or a later caller) retries.
+    {
+      std::lock_guard lock(shard.mutex);
+      shard.entries.erase(key);
+    }
+    shard.ready_cv.notify_all();
+    throw;
+  }
+
+  const std::size_t entry_bytes =
+      hist->size() * sizeof(BinCount) + sizeof(Shard::Entry);
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    ZH_ASSERT(it != shard.entries.end() && it->second.filling,
+              "in-flight cache entry vanished during fill");
+    Shard::Entry& e = it->second;
+    e.hist = hist;
+    e.bytes = entry_bytes;
+    e.filling = false;
+    shard.lru.push_front(key);
+    e.lru_pos = shard.lru.begin();
+    shard.bytes += entry_bytes;
+    total_bytes_.fetch_add(entry_bytes, std::memory_order_relaxed);
+    ++shard.fills;
+    ZH_COUNTER_ADD("cache.fills", 1);
+    shard.evict_to_budget(shard_budget_, total_bytes_);
+    ZH_GAUGE_MAX("cache.bytes",
+                 total_bytes_.load(std::memory_order_relaxed));
+  }
+  shard.ready_cv.notify_all();
+  return hist;
+}
+
+TileCacheStats TileCache::stats() const {
+  TileCacheStats s;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    s.hits += shard->hits;
+    s.misses += shard->misses;
+    s.fills += shard->fills;
+    s.evictions += shard->evictions;
+    s.bytes += shard->bytes;
+  }
+  return s;
+}
+
+void TileCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    // Ready entries drop; in-flight fills keep their claimed entry so
+    // the single-fill invariant holds across a clear().
+    for (auto it = shard->entries.begin(); it != shard->entries.end();) {
+      if (it->second.filling) {
+        ++it;
+      } else {
+        shard->bytes -= it->second.bytes;
+        total_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+        shard->lru.erase(it->second.lru_pos);
+        it = shard->entries.erase(it);
+      }
+    }
+    ZH_ASSERT(shard->lru.empty() && shard->bytes == 0,
+              "LRU/bytes accounting out of sync after clear");
+  }
+}
+
+}  // namespace zh

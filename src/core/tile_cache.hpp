@@ -1,0 +1,133 @@
+// Memory-budgeted, sharded LRU cache of Step-1 per-tile histograms.
+//
+// Table 2 shows Step 1 -- histogramming raw cells -- dominating the
+// end-to-end runtime, yet a tile's histogram depends only on (raster,
+// band, tile, binning): it is zone-independent. A serving workload
+// (many zonal queries against the same rasters, the Raptor shape) can
+// therefore compute each tile histogram once and reuse it across
+// queries. TileCache is that reuse layer:
+//
+//  * Keys are (raster fingerprint, band, tile id, binning fingerprint),
+//    so distinct rasters, bands, or binnings never alias.
+//  * The key space is hash-sharded; each shard has its own mutex, LRU
+//    list and byte account, so concurrent queries contend only when
+//    they touch the same shard.
+//  * Fills run once under a per-key in-flight guard: the first thread
+//    to miss computes the histogram OUTSIDE the shard lock while later
+//    arrivals block on the shard's condition variable and share the
+//    result (no duplicate Step-1 work, ever).
+//  * Eviction is byte-accounted against a configurable budget,
+//    strictly LRU within a shard; in-flight fills are never evicted.
+//    Entries are handed out as shared_ptr, so an evicted histogram
+//    stays alive until the last query using it drops its reference.
+//
+// Invariants (tested in test_tile_cache.cpp, documented in DESIGN.md §9):
+//  I1  At most one fill per key runs at any time.
+//  I2  stats().bytes <= budget_bytes after every get_or_fill, unless
+//      every resident entry is still filling.
+//  I3  hits + misses == get_or_fill calls; fills <= misses (a failed
+//      fill is a miss without a fill).
+//  I4  A returned histogram is immutable and valid for the caller's
+//      lifetime regardless of later evictions.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "grid/raster.hpp"
+
+namespace zh {
+
+/// Cache key: one Step-1 tile histogram is fully determined by these
+/// four coordinates. CountMode and CellOrder are deliberately absent --
+/// histograms are order-independent, so both modes produce identical
+/// counts and may share entries.
+struct TileHistKey {
+  std::uint64_t raster_fp = 0;   ///< fingerprint_raster() of the source
+  std::uint32_t band = 0;        ///< band index (0 for single-band DEMs)
+  TileId tile = 0;               ///< row-major tile id in the tiling
+  std::uint64_t binning_fp = 0;  ///< fingerprint_binning(tile_size, bins)
+
+  bool operator==(const TileHistKey&) const = default;
+};
+
+/// Content fingerprint of a raster (dims, transform, nodata, CRC-32 of
+/// the cells). Mirrors the journal's manifest fingerprint so equal
+/// rasters share cache entries across engine instances.
+[[nodiscard]] std::uint64_t fingerprint_raster(const DemRaster& raster);
+
+/// Fingerprint of a (tile_size, bins) binning scheme.
+[[nodiscard]] std::uint64_t fingerprint_binning(std::int64_t tile_size,
+                                                BinIndex bins);
+
+struct TileCacheConfig {
+  /// Byte budget across all shards. The per-shard budget is
+  /// budget_bytes / shards (shards do not borrow from each other).
+  std::size_t budget_bytes = std::size_t{256} << 20;
+  /// Shard count; rounded up to a power of two, at least 1.
+  std::size_t shards = 8;
+};
+
+/// Monotonic cache statistics. `bytes` is the current resident total
+/// (ready entries only); the rest are cumulative since construction.
+struct TileCacheStats {
+  std::uint64_t hits = 0;       ///< served from cache (incl. fill waits)
+  std::uint64_t misses = 0;     ///< entry absent; a fill was started
+  std::uint64_t fills = 0;      ///< fills completed successfully
+  std::uint64_t evictions = 0;  ///< entries evicted for budget
+  std::uint64_t bytes = 0;      ///< resident histogram bytes now
+};
+
+/// One cached tile histogram: `bins` counts, immutable once published.
+using TileHistPtr = std::shared_ptr<const std::vector<BinCount>>;
+
+class TileCache {
+ public:
+  explicit TileCache(TileCacheConfig config = {});
+  ~TileCache();
+
+  TileCache(const TileCache&) = delete;
+  TileCache& operator=(const TileCache&) = delete;
+
+  /// Return the histogram for `key`, computing it via `fill` on a miss.
+  /// `fill` runs outside the shard lock; concurrent callers for the
+  /// same key block until the fill publishes and then share the result.
+  /// If `fill` throws, the in-flight entry is removed, one blocked
+  /// waiter (if any) retries the fill, and the exception propagates to
+  /// the filling caller.
+  [[nodiscard]] TileHistPtr get_or_fill(
+      const TileHistKey& key,
+      const std::function<std::vector<BinCount>()>& fill);
+
+  /// Merged statistics across shards (point-in-time snapshot).
+  [[nodiscard]] TileCacheStats stats() const;
+
+  /// Resident bytes right now (ready entries across all shards).
+  [[nodiscard]] std::uint64_t bytes() const { return stats().bytes; }
+
+  [[nodiscard]] std::size_t budget_bytes() const { return budget_bytes_; }
+  [[nodiscard]] std::size_t shard_count() const;
+
+  /// Drop every ready entry (in-flight fills complete and then publish
+  /// into an empty shard; their bytes are accounted normally).
+  void clear();
+
+ private:
+  struct Shard;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t budget_bytes_;
+  std::size_t shard_budget_ = 0;
+  std::size_t shard_mask_ = 0;  ///< shards_.size() - 1 (power of two)
+  /// Resident bytes across shards, maintained so the cache.bytes gauge
+  /// can record the whole-cache peak without locking every shard.
+  std::atomic<std::uint64_t> total_bytes_{0};
+
+  Shard& shard_for(const TileHistKey& key) const;
+};
+
+}  // namespace zh

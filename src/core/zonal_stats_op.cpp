@@ -55,8 +55,8 @@ std::vector<ZonalStats> zonal_statistics(Device& device,
         const std::size_t idx = ctx.block_id();
         const PolygonId pid = pairing.inside.pid_v[idx];
         StatsAccumulator acc;
-        const std::uint32_t pos = pairing.inside.pos_v[idx];
-        for (std::uint32_t i = 0; i < pairing.inside.num_v[idx]; ++i) {
+        const std::uint64_t pos = pairing.inside.pos_v[idx];
+        for (std::uint64_t i = 0; i < pairing.inside.num_v[idx]; ++i) {
           acc.merge(tile_stats[pairing.inside.tid_v[pos + i]]);
         }
         zone_stats[pid].merge(acc);
@@ -71,8 +71,8 @@ std::vector<ZonalStats> zonal_statistics(Device& device,
         const PolygonId pid = pairing.intersect.pid_v[idx];
         const auto [p_f, p_t] = soa.vertex_range(pid);
         StatsAccumulator acc;
-        const std::uint32_t pos = pairing.intersect.pos_v[idx];
-        for (std::uint32_t k = 0; k < pairing.intersect.num_v[idx]; ++k) {
+        const std::uint64_t pos = pairing.intersect.pos_v[idx];
+        for (std::uint64_t k = 0; k < pairing.intersect.num_v[idx]; ++k) {
           const CellWindow w =
               tiling.tile_window(pairing.intersect.tid_v[pos + k]);
           ctx.strided(

@@ -122,7 +122,7 @@ EdgeIndex EdgeIndex::build(const PolygonSoA& soa,
             band.offsets[k] += band.offsets[k - 1];
           }
           band.edges.resize(band.offsets.back());
-          std::vector<std::uint32_t> cursor(band.offsets.begin(),
+          std::vector<std::uint64_t> cursor(band.offsets.begin(),
                                             band.offsets.end() - 1);
           for (const auto& [j, rr] : spans) {
             for (std::int64_t r = rr.first; r <= rr.last; ++r) {

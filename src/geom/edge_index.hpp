@@ -69,7 +69,8 @@ class EdgeIndex {
   struct Band {
     std::int64_t row0 = 0;
     std::int64_t rows = 0;
-    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint64_t> offsets;  ///< 64-bit: scan output (zh-lint
+                                         ///< index-width pass 3)
     std::vector<std::uint32_t> edges;
   };
 

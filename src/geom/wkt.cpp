@@ -3,7 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
-#include <cstdlib>
+#include <locale>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -53,12 +53,18 @@ class Scanner {
 
   double number() {
     skip_ws();
+    // from_chars, not strtod: strtod honors LC_NUMERIC, so a
+    // comma-decimal locale would truncate "1.5" to 1.
     const char* begin = s_.data() + pos_;
-    char* end = nullptr;
-    const double v = std::strtod(begin, &end);
-    ZH_REQUIRE_IO(end != begin, "expected number at offset ", pos_,
-                  " in WKT");
-    // strtod happily parses "nan" and "inf"; coordinates must be finite.
+    const char* last = s_.data() + s_.size();
+    double v = 0.0;
+    const auto [end, ec] = std::from_chars(begin, last, v);
+    ZH_REQUIRE_IO(ec != std::errc::invalid_argument && end != begin,
+                  "expected number at offset ", pos_, " in WKT");
+    ZH_REQUIRE_IO(ec == std::errc(), "coordinate out of double range at "
+                  "offset ", pos_, " in WKT");
+    // from_chars happily parses "nan" and "inf"; coordinates must be
+    // finite.
     ZH_REQUIRE_IO(std::isfinite(v), "non-finite coordinate at offset ",
                   pos_, " in WKT");
     pos_ += static_cast<std::size_t>(end - begin);
@@ -123,6 +129,9 @@ Polygon parse_wkt(std::string_view wkt) {
 
 std::string to_wkt(const Polygon& poly) {
   std::ostringstream os;
+  // Classic locale: coordinates must round-trip through the WKT parser
+  // regardless of the global locale's decimal point.
+  os.imbue(std::locale::classic());
   os.precision(17);
   os << "POLYGON (";
   for (std::size_t r = 0; r < poly.rings().size(); ++r) {

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <locale>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -17,6 +18,9 @@ void write_ascii_grid(const std::string& path, const DemRaster& raster) {
              "ESRI ASCII grids require square cells");
   std::ofstream os(path);
   ZH_REQUIRE_IO(os.is_open(), "cannot open for write: ", path);
+  // Classic locale: number round-trips must not depend on the global
+  // locale (a comma decimal point or digit grouping corrupts the file).
+  os.imbue(std::locale::classic());
   const GeoBox ext = raster.extent();
   os << "ncols " << raster.cols() << '\n';
   os << "nrows " << raster.rows() << '\n';
@@ -41,6 +45,9 @@ void write_ascii_grid(const std::string& path, const DemRaster& raster) {
 DemRaster read_ascii_grid(const std::string& path) {
   std::ifstream is(path);
   ZH_REQUIRE_IO(is.is_open(), "cannot open for read: ", path);
+  // Classic locale: number round-trips must not depend on the global
+  // locale (a comma decimal point or digit grouping corrupts the file).
+  is.imbue(std::locale::classic());
 
   std::int64_t ncols = -1;
   std::int64_t nrows = -1;

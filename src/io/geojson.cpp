@@ -1,9 +1,10 @@
 #include "io/geojson.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
+#include <locale>
 #include <sstream>
 #include <variant>
 
@@ -116,11 +117,18 @@ class JsonParser {
 
   double parse_number() {
     skip_ws();
+    // from_chars, not strtod: strtod honors LC_NUMERIC, so a
+    // comma-decimal locale would truncate "1.5" to 1. from_chars is
+    // locale-independent by definition.
     const char* begin = s_.data() + pos_;
-    char* end = nullptr;
-    const double v = std::strtod(begin, &end);
-    ZH_REQUIRE_IO(end != begin, "expected number at offset ", pos_);
-    // strtod parses "nan"/"inf", which JSON forbids and downstream
+    const char* last = s_.data() + s_.size();
+    double v = 0.0;
+    const auto [end, ec] = std::from_chars(begin, last, v);
+    ZH_REQUIRE_IO(ec != std::errc::invalid_argument && end != begin,
+                  "expected number at offset ", pos_);
+    ZH_REQUIRE_IO(ec == std::errc(), "JSON number out of double range "
+                  "at offset ", pos_);
+    // from_chars parses "nan"/"inf", which JSON forbids and downstream
     // geometry code cannot tolerate.
     ZH_REQUIRE_IO(std::isfinite(v), "non-finite JSON number at offset ",
                   pos_);
@@ -332,6 +340,9 @@ PolygonSet read_geojson(const std::string& path) {
 
 std::string to_geojson(const PolygonSet& set) {
   std::ostringstream os;
+  // Classic locale: a comma-decimal global locale would emit coordinates
+  // that are invalid JSON.
+  os.imbue(std::locale::classic());
   os.precision(17);
   os << "{\"type\":\"FeatureCollection\",\"features\":[";
   for (PolygonId id = 0; id < set.size(); ++id) {

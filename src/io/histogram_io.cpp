@@ -1,6 +1,7 @@
 #include "io/histogram_io.hpp"
 
 #include <fstream>
+#include <locale>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -10,6 +11,9 @@ namespace zh {
 void write_histogram_csv(const std::string& path, const HistogramSet& h) {
   std::ofstream os(path);
   ZH_REQUIRE_IO(os.is_open(), "cannot open for write: ", path);
+  // Classic locale: a digit-grouping global locale would render counts
+  // like "123.456" and break the reader.
+  os.imbue(std::locale::classic());
   os << "zone,bin,count\n";
   for (std::size_t g = 0; g < h.groups(); ++g) {
     const auto row = h.of(g);
@@ -37,6 +41,7 @@ HistogramSet read_histogram_csv(const std::string& path,
     ++lineno;
     if (line.empty()) continue;
     std::istringstream ls(line);
+    ls.imbue(std::locale::classic());
     std::uint64_t zone = 0;
     std::uint64_t bin = 0;
     std::uint64_t count = 0;

@@ -1,6 +1,7 @@
 #include "io/vector_io.hpp"
 
 #include <fstream>
+#include <locale>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -23,6 +24,9 @@ void write_points_csv(const std::string& path, const PointSet& points) {
              "weight array must be empty or match point count");
   std::ofstream os(path);
   ZH_REQUIRE_IO(os.is_open(), "cannot open for write: ", path);
+  // Classic locale: number round-trips must not depend on the global
+  // locale (a comma decimal point or digit grouping corrupts the file).
+  os.imbue(std::locale::classic());
   os.precision(17);
   os << "x,y,weight\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -47,6 +51,7 @@ PointSet read_points_csv(const std::string& path) {
     ++lineno;
     if (line.empty()) continue;
     std::istringstream ls(line);
+    ls.imbue(std::locale::classic());
     double x = 0;
     double y = 0;
     double w = 1.0;

@@ -1,6 +1,7 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -281,10 +282,16 @@ class Parser {
       }
       if (digits() == 0) fail("digits required in exponent");
     }
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) fail("malformed number");
+    // from_chars, not strtod: strtod honors LC_NUMERIC, so a
+    // comma-decimal locale would reject valid JSON like "1.5" (it would
+    // stop at the '.' and leave trailing characters).
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || end != token.data() + token.size()) {
+      fail("number out of range");
+    }
     if (!std::isfinite(value)) fail("number out of range");
     JsonValue v;
     v.type = JsonValue::Type::kNumber;

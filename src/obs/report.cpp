@@ -1,8 +1,10 @@
 #include "obs/report.hpp"
 
+#include <charconv>
 #include <cinttypes>
 #include <fstream>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "common/memory.hpp"
 #include "obs/json.hpp"
@@ -19,9 +21,14 @@ constexpr const char* kGitSha = "unknown";
 #endif
 
 void append_number(std::string& out, double v) {
+  // to_chars, not snprintf: %g honors LC_NUMERIC, and a comma decimal
+  // point would make the emitted report invalid JSON. to_chars formats
+  // as %.9g does in the C locale, regardless of the global locale.
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  out += buf;
+  const auto [end, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 9);
+  ZH_ASSERT(ec == std::errc(), "double did not fit a 32-byte buffer");
+  out.append(buf, end);
 }
 
 void append_kv(std::string& out, const char* key, double v, bool& first) {

@@ -28,7 +28,9 @@
 #include "core/perf_model.hpp"             // IWYU pragma: export
 #include "core/pipeline.hpp"               // IWYU pragma: export
 #include "core/point_zonal.hpp"            // IWYU pragma: export
+#include "core/query_engine.hpp"           // IWYU pragma: export
 #include "core/rasterize.hpp"              // IWYU pragma: export
+#include "core/tile_cache.hpp"             // IWYU pragma: export
 #include "core/zonal_stats_op.hpp"         // IWYU pragma: export
 #include "core/zone_cluster.hpp"           // IWYU pragma: export
 #include "data/conus.hpp"                  // IWYU pragma: export

@@ -25,6 +25,12 @@ long fixture_index(const FixtureBase& base, unsigned plane) {
   return scaled + static_cast<long>(sizeof(text));
 }
 
+// index-width pass-3 near-misses: a wide scan vector, a narrow vector
+// whose name is not a scan/offset, and a scan-named scalar.
+std::vector<std::uint64_t> pos_v;
+std::vector<std::uint32_t> tile_ids;
+std::uint32_t num_scalar = 0;
+
 // raw-mutex-lock near-miss: RAII guards; weak against .lock() only.
 void fixture_guard(std::mutex& m) {
   std::lock_guard<std::mutex> hold(m);

@@ -4,4 +4,5 @@ long fixture_narrow(int rows, int cols) {
   long cell_count = rows * cols;
   return cell_count;
 }
+std::vector<std::uint32_t> pos_v;
 }  // namespace zh

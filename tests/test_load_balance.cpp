@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "core/cluster_driver.hpp"
@@ -63,6 +64,65 @@ TEST(LoadBalance, SizeMismatchThrows) {
   auto parts = fake_parts(3);
   EXPECT_THROW((void)assign_least_loaded(parts, 2, {1.0}), InvalidArgument);
   EXPECT_THROW((void)assignment_imbalance(parts, 2, {1.0}), InvalidArgument);
+}
+
+TEST(LoadBalance, AllZeroCostsAreBalancedByDefinition) {
+  // Empty coverage (every partition costs nothing) used to return 0/0 =
+  // NaN from the imbalance ratio; it is defined as perfectly balanced.
+  const std::vector<double> costs(6, 0.0);
+  auto parts = fake_parts(6);
+  assign_least_loaded(parts, 3, costs);
+  const double imb = assignment_imbalance(parts, 3, costs);
+  EXPECT_FALSE(std::isnan(imb));
+  EXPECT_DOUBLE_EQ(imb, 1.0);
+}
+
+TEST(LoadBalance, MoreRanksThanPartitionsLeavesRanksIdle) {
+  // 2 partitions across 5 ranks: the mean divides by all 5 ranks, so the
+  // best achievable ratio is ranks/partitions = 2.5, not 1.0. LPT must
+  // spread the two partitions onto two distinct ranks.
+  const std::vector<double> costs = {1.0, 1.0};
+  auto parts = fake_parts(2);
+  assign_least_loaded(parts, 5, costs);
+  EXPECT_NE(parts[0].owner, parts[1].owner);
+  EXPECT_LT(parts[0].owner, 5u);
+  EXPECT_LT(parts[1].owner, 5u);
+  EXPECT_DOUBLE_EQ(assignment_imbalance(parts, 5, costs), 2.5);
+}
+
+TEST(LoadBalance, NonFiniteOrNegativeCostsThrow) {
+  // NaN poisons min/max_element (unordered comparisons) and a negative
+  // cost lets one rank's load sink below zero and soak up every
+  // partition; both are precondition violations, not silent misbalances.
+  auto parts = fake_parts(3);
+  assign_round_robin(parts, 2);
+  const std::vector<double> with_nan = {1.0, std::nan(""), 2.0};
+  const std::vector<double> with_inf = {1.0, INFINITY, 2.0};
+  const std::vector<double> with_neg = {1.0, -0.5, 2.0};
+  EXPECT_THROW((void)assign_least_loaded(parts, 2, with_nan), InvalidArgument);
+  EXPECT_THROW((void)assign_least_loaded(parts, 2, with_inf), InvalidArgument);
+  EXPECT_THROW((void)assign_least_loaded(parts, 2, with_neg), InvalidArgument);
+  EXPECT_THROW((void)assignment_imbalance(parts, 2, with_nan),
+               InvalidArgument);
+  EXPECT_THROW((void)assignment_imbalance(parts, 2, with_inf),
+               InvalidArgument);
+  EXPECT_THROW((void)assignment_imbalance(parts, 2, with_neg),
+               InvalidArgument);
+}
+
+TEST(LoadBalance, OwnerOutOfRangeThrowsInsteadOfIndexingPastLoads) {
+  auto parts = fake_parts(2);
+  parts[0].owner = 0;
+  parts[1].owner = 7;  // stale assignment from a wider rank count
+  const std::vector<double> costs = {1.0, 1.0};
+  EXPECT_THROW((void)assignment_imbalance(parts, 2, costs), InvalidArgument);
+}
+
+TEST(LoadBalance, ZeroRanksThrow) {
+  auto parts = fake_parts(2);
+  const std::vector<double> costs = {1.0, 1.0};
+  EXPECT_THROW((void)assign_least_loaded(parts, 0, costs), InvalidArgument);
+  EXPECT_THROW((void)assignment_imbalance(parts, 0, costs), InvalidArgument);
 }
 
 TEST(LoadBalance, EstimatedCostsReflectPolygonCoverage) {

@@ -1,0 +1,223 @@
+// QueryEngine correctness: every cached-path result must be bit-identical
+// to a fresh ZonalPipeline::run on the same inputs (DESIGN.md §9). The
+// cache is an optimization, never an approximation -- warm queries skip
+// the Step-1 cell scan but produce the exact same histograms.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/pipeline.hpp"
+#include "core/query_engine.hpp"
+#include "data/county_synth.hpp"
+#include "data/dem_synth.hpp"
+#include "test_util.hpp"
+
+namespace zh {
+namespace {
+
+DemRaster make_raster(std::uint32_t seed) {
+  return generate_dem(90, 110, GeoTransform(0.0, 9.0, 0.1, 0.1),
+                      {.seed = seed, .max_value = 99});
+}
+
+PolygonSet make_zones(std::uint32_t seed, bool holes = false) {
+  return test::random_polygon_set(seed, GeoBox{0.5, 0.5, 10.5, 8.5}, 8, holes);
+}
+
+/// Tessellating zones: large enough that many tiles are fully inside,
+/// which is what exercises the Step-1 cache (inside pairs demand tile
+/// histograms; intersect pairs go straight to Step-4 refinement).
+PolygonSet make_county_zones(std::uint64_t seed) {
+  CountyParams cp;
+  cp.seed = seed;
+  cp.grid_x = 3;
+  cp.grid_y = 3;
+  return generate_counties(GeoBox{-0.4, -0.4, 11.4, 9.4}, cp);
+}
+
+QueryEngineConfig small_config() {
+  QueryEngineConfig cfg;
+  cfg.tile_size = 8;
+  return cfg;
+}
+
+TEST(QueryEngine, MatchesZonalPipelineBitExactly) {
+  Device dev;
+  const DemRaster raster = make_raster(11);
+  const PolygonSet zones = make_zones(101, /*holes=*/true);
+
+  QueryEngine engine(dev, small_config());
+  const RasterHandle h = engine.add_raster(raster);
+  const QueryResult got =
+      engine.run({.raster = h, .zones = &zones, .bins = 100});
+
+  const ZonalPipeline pipe(dev, {.tile_size = 8, .bins = 100});
+  const ZonalResult want = pipe.run(raster, zones);
+  EXPECT_EQ(got.per_polygon, want.per_polygon);
+  EXPECT_EQ(got.work.pairs_inside, want.work.pairs_inside);
+  EXPECT_EQ(got.work.pairs_intersect, want.work.pairs_intersect);
+  EXPECT_EQ(got.work.cells_in_polygons, want.work.cells_in_polygons);
+}
+
+TEST(QueryEngine, RepeatedQueryHitsCacheAndStaysIdentical) {
+  Device dev;
+  const DemRaster raster = make_raster(12);
+  const PolygonSet zones = make_county_zones(102);
+
+  QueryEngine engine(dev, small_config());
+  const RasterHandle h = engine.add_raster(raster);
+  const ZonalQuery q{.raster = h, .zones = &zones, .bins = 100};
+
+  const QueryResult cold = engine.run(q);
+  const QueryResult warm = engine.run(q);
+  EXPECT_EQ(warm.per_polygon, cold.per_polygon);
+
+  // Cold run: every demanded tile was a miss; warm run: every one a hit.
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_GT(cold.cache_misses, 0u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_EQ(warm.cache_hits, cold.cache_misses);
+  // A fully warm query histogrammed zero raster cells (Step-1 skipped).
+  EXPECT_GT(cold.work.cells_total, 0u);
+  EXPECT_EQ(warm.work.cells_total, 0u);
+}
+
+TEST(QueryEngine, BatchMatchesIndependentRunsWithSharing) {
+  Device dev;
+  const DemRaster raster = make_raster(13);
+  const PolygonSet zones_a = make_county_zones(103);
+  const PolygonSet zones_b = make_county_zones(104);
+
+  QueryEngine engine(dev, small_config());
+  const RasterHandle h = engine.add_raster(raster);
+  const std::vector<ZonalQuery> batch = {
+      {.raster = h, .zones = &zones_a, .bins = 100},
+      {.raster = h, .zones = &zones_b, .bins = 100},
+  };
+  const std::vector<QueryResult> results = engine.run_batch(batch);
+  ASSERT_EQ(results.size(), 2u);
+
+  // Bit-identical to two independent pipeline runs.
+  const ZonalPipeline pipe(dev, {.tile_size = 8, .bins = 100});
+  EXPECT_EQ(results[0].per_polygon, pipe.run(raster, zones_a).per_polygon);
+  EXPECT_EQ(results[1].per_polygon, pipe.run(raster, zones_b).per_polygon);
+
+  // Different zone layers over the same raster share tile histograms:
+  // the second query must hit on every tile the first already filled.
+  EXPECT_EQ(results[0].cache_hits, 0u);
+  EXPECT_GT(results[1].cache_hits, 0u);
+  EXPECT_LT(results[1].cache_misses, results[1].cache_hits +
+                                         results[1].cache_misses);
+  const TileCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, results[1].cache_hits);
+  EXPECT_EQ(stats.misses, results[0].cache_misses + results[1].cache_misses);
+}
+
+TEST(QueryEngine, DistinctBinningsDoNotAlias) {
+  Device dev;
+  const DemRaster raster = make_raster(14);
+  const PolygonSet zones = make_zones(105);
+
+  QueryEngine engine(dev, small_config());
+  const RasterHandle h = engine.add_raster(raster);
+  const QueryResult a = engine.run({.raster = h, .zones = &zones, .bins = 100});
+  const QueryResult b = engine.run({.raster = h, .zones = &zones, .bins = 50});
+  // Different bin counts: no entry sharing, both all-miss.
+  EXPECT_EQ(a.cache_hits, 0u);
+  EXPECT_EQ(b.cache_hits, 0u);
+
+  Device dev2;
+  const ZonalPipeline pipe50(dev2, {.tile_size = 8, .bins = 50});
+  EXPECT_EQ(b.per_polygon, pipe50.run(raster, zones).per_polygon);
+}
+
+TEST(QueryEngine, DistinctRastersDoNotAlias) {
+  Device dev;
+  const DemRaster r1 = make_raster(15);
+  const DemRaster r2 = make_raster(16);
+  const PolygonSet zones = make_zones(106);
+
+  QueryEngine engine(dev, small_config());
+  const RasterHandle h1 = engine.add_raster(r1);
+  const RasterHandle h2 = engine.add_raster(r2);
+  EXPECT_EQ(engine.raster_count(), 2u);
+
+  const QueryResult a = engine.run({.raster = h1, .zones = &zones, .bins = 100});
+  const QueryResult b = engine.run({.raster = h2, .zones = &zones, .bins = 100});
+  EXPECT_EQ(b.cache_hits, 0u);  // content differs -> different fingerprints
+  (void)a;
+
+  const ZonalPipeline pipe(dev, {.tile_size = 8, .bins = 100});
+  EXPECT_EQ(b.per_polygon, pipe.run(r2, zones).per_polygon);
+}
+
+TEST(QueryEngine, EqualContentRastersShareEntries) {
+  // Two registrations of byte-identical rasters fingerprint equally, so
+  // the second query is fully warm even though the handles differ.
+  Device dev;
+  const DemRaster r1 = make_raster(17);
+  const DemRaster r2 = r1;
+  const PolygonSet zones = make_county_zones(107);
+
+  QueryEngine engine(dev, small_config());
+  const RasterHandle h1 = engine.add_raster(r1);
+  const RasterHandle h2 = engine.add_raster(r2);
+  const QueryResult cold = engine.run({.raster = h1, .zones = &zones, .bins = 100});
+  const QueryResult warm = engine.run({.raster = h2, .zones = &zones, .bins = 100});
+  EXPECT_EQ(warm.cache_hits, cold.cache_misses);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_EQ(warm.per_polygon, cold.per_polygon);
+}
+
+TEST(QueryEngine, SurvivesTinyCacheBudgetByRefilling) {
+  // A budget too small to keep the working set resident must degrade to
+  // recomputation, never to wrong answers.
+  Device dev;
+  const DemRaster raster = make_raster(18);
+  const PolygonSet zones = make_county_zones(108);
+
+  QueryEngineConfig cfg = small_config();
+  cfg.cache.budget_bytes = 4 << 10;  // a handful of tile histograms
+  cfg.cache.shards = 1;
+  QueryEngine engine(dev, cfg);
+  const RasterHandle h = engine.add_raster(raster);
+  const ZonalQuery q{.raster = h, .zones = &zones, .bins = 100};
+  const QueryResult first = engine.run(q);
+  const QueryResult second = engine.run(q);
+  EXPECT_EQ(second.per_polygon, first.per_polygon);
+  EXPECT_GT(engine.cache_stats().evictions, 0u);
+  EXPECT_LE(engine.cache().bytes(), engine.cache().budget_bytes());
+
+  const ZonalPipeline pipe(dev, {.tile_size = 8, .bins = 100});
+  EXPECT_EQ(first.per_polygon, pipe.run(raster, zones).per_polygon);
+}
+
+TEST(QueryEngine, RejectsInvalidQueries) {
+  Device dev;
+  const DemRaster raster = make_raster(19);
+  const PolygonSet zones = make_zones(109);
+  QueryEngine engine(dev, small_config());
+  const RasterHandle h = engine.add_raster(raster);
+
+  EXPECT_THROW((void)engine.run({.raster = h + 1, .zones = &zones, .bins = 100}),
+               InvalidArgument);
+  EXPECT_THROW((void)engine.run({.raster = h, .zones = nullptr, .bins = 100}),
+               InvalidArgument);
+  EXPECT_THROW((void)engine.run({.raster = h, .zones = &zones, .bins = 0}),
+               InvalidArgument);
+}
+
+TEST(QueryEngine, EmptyZoneSetYieldsEmptyResult) {
+  Device dev;
+  const DemRaster raster = make_raster(20);
+  const PolygonSet zones;  // no polygons
+  QueryEngine engine(dev, small_config());
+  const RasterHandle h = engine.add_raster(raster);
+  const QueryResult r = engine.run({.raster = h, .zones = &zones, .bins = 100});
+  EXPECT_EQ(r.per_polygon.groups(), 0u);
+  EXPECT_EQ(r.cache_misses, 0u);  // no demanded tiles
+}
+
+}  // namespace
+}  // namespace zh

@@ -5,8 +5,10 @@
 
 #include <map>
 #include <set>
+#include <type_traits>
 
 #include "core/step2_pairing.hpp"
+#include "primitives/primitives.hpp"
 #include "geom/pip.hpp"
 #include "test_util.hpp"
 
@@ -192,6 +194,34 @@ TEST(Step2, EmptyPolygonSet) {
       pair_and_group(w.polygons, w.tiling, w.transform);
   EXPECT_EQ(res.candidate_pairs, 0u);
   EXPECT_EQ(res.inside.group_count(), 0u);
+}
+
+// Regression: num_v/pos_v were std::uint32_t while pair_count() is a
+// size_t, so on large rasters x dense polygon sets the Fig.-4 exclusive
+// scan silently wrapped past 2^32 pairs. Pinned two ways: the dispatch
+// arrays' element type must stay 64-bit (compile-time), and the exact
+// scan the grouping runs must carry offsets beyond 2^32 (allocating 4G+
+// real pairs is infeasible in a unit test; the scan is where the wrap
+// happened).
+TEST(Step2Grouping, DispatchOffsetsSurviveFourBillionPairs) {
+  static_assert(
+      std::is_same_v<decltype(PolygonTileGroups::num_v)::value_type,
+                     std::uint64_t>,
+      "num_v must be 64-bit: tile counts feed the pos_v scan");
+  static_assert(
+      std::is_same_v<decltype(PolygonTileGroups::pos_v)::value_type,
+                     std::uint64_t>,
+      "pos_v must be 64-bit: offsets index a size_t-sized pair array");
+
+  const std::vector<std::uint64_t> num = {3'000'000'000ull,
+                                          2'000'000'000ull, 7ull};
+  std::vector<std::uint64_t> pos(num.size());
+  prim::exclusive_scan<std::uint64_t>(std::span<const std::uint64_t>(num),
+                                      pos, 0);
+  EXPECT_EQ(pos[0], 0ull);
+  EXPECT_EQ(pos[1], 3'000'000'000ull);
+  // 5'000'000'000 mod 2^32 == 705'032'704: the silent pre-fix value.
+  EXPECT_EQ(pos[2], 5'000'000'000ull);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "device/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace zh {
 namespace {
@@ -175,6 +176,51 @@ TEST(ThreadPool, FirstExceptionWinsAndPoolStaysUsable) {
   });
   EXPECT_EQ(covered.load(), 4096u);
 }
+
+TEST(ThreadPool, ChunksNeverClaimPastNOrOverlap) {
+  // Sweep awkward (n, grain) combinations: every invocation must stay
+  // inside [0, n), chunks must be non-empty and grain-sized except the
+  // tail, and coverage must be exact (no claim past n double-counts).
+  for (const std::size_t n : {1u, 2u, 7u, 64u, 1000u, 1001u}) {
+    for (const std::size_t grain : {1u, 3u, 7u, 64u, 999u, 1024u}) {
+      std::atomic<std::size_t> covered{0};
+      std::atomic<bool> bad{false};
+      ThreadPool::global().parallel_for(
+          n,
+          [&](std::size_t b, std::size_t e) {
+            if (b >= e || e > n) bad = true;
+            covered.fetch_add(e - b, std::memory_order_relaxed);
+          },
+          grain);
+      EXPECT_FALSE(bad.load()) << "n=" << n << " grain=" << grain;
+      EXPECT_EQ(covered.load(), n) << "n=" << n << " grain=" << grain;
+    }
+  }
+}
+
+#if defined(ZH_ENABLE_OBS)
+TEST(ThreadPool, DegenerateRangesPostNoPoolTasks) {
+  // n == 0 and chunk >= n short-circuit before any task is posted: no
+  // worker wakeups, no queue traffic. The pool.tasks_run counter is
+  // recorded per posted task while metrics are on, so its absence after
+  // both calls pins the no-post fast path.
+  obs::set_metrics_enabled(false);
+  obs::metrics_reset();
+  obs::set_metrics_enabled(true);
+  std::atomic<int> calls{0};
+  ThreadPool::global().parallel_for(
+      0, [&](std::size_t, std::size_t) { ++calls; });
+  ThreadPool::global().parallel_for(
+      10, [&](std::size_t, std::size_t) { ++calls; }, 64);
+  EXPECT_EQ(calls.load(), 1);  // the grain>n call runs inline, once
+  for (const obs::MetricRecord& m : obs::metrics_snapshot()) {
+    EXPECT_NE(m.name, "pool.tasks_run")
+        << "a degenerate parallel_for posted " << m.value << " task(s)";
+  }
+  obs::set_metrics_enabled(false);
+  obs::metrics_reset();
+}
+#endif
 
 TEST(ThreadPool, ConcurrentPostDuringShutdownDrainsEverything) {
   // Tasks re-posting from inside workers race with the destructor setting

@@ -1,0 +1,298 @@
+// TileCache invariants I1-I4 (see tile_cache.hpp). The fill callbacks
+// here return synthetic histograms stamped with the key so sharing and
+// aliasing are observable; the atomically counted fills prove the
+// single-fill guarantee under real thread contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/tile_cache.hpp"
+#include "grid/geotransform.hpp"
+#include "test_util.hpp"
+
+namespace zh {
+namespace {
+
+TileHistKey key_for(TileId tile, std::uint32_t band = 0,
+                    std::uint64_t raster_fp = 0x1111,
+                    std::uint64_t binning_fp = 0x2222) {
+  return TileHistKey{.raster_fp = raster_fp,
+                     .band = band,
+                     .tile = tile,
+                     .binning_fp = binning_fp};
+}
+
+/// A recognizable histogram: bins counts, each equal to tile + 1.
+std::vector<BinCount> stamped_hist(TileId tile, std::size_t bins = 64) {
+  return std::vector<BinCount>(bins, tile + 1);
+}
+
+TEST(TileCache, MissThenHitSharesOnePointer) {
+  TileCache cache;
+  std::atomic<int> fills{0};
+  const TileHistKey k = key_for(7);
+  const auto fill = [&] {
+    ++fills;
+    return stamped_hist(7);
+  };
+  const TileHistPtr a = cache.get_or_fill(k, fill);
+  const TileHistPtr b = cache.get_or_fill(k, fill);
+  EXPECT_EQ(fills.load(), 1);
+  EXPECT_EQ(a.get(), b.get());
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ((*a)[0], 8u);
+  const TileCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.fills, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_GT(s.bytes, 0u);
+}
+
+TEST(TileCache, NullFillIsRejected) {
+  TileCache cache;
+  EXPECT_THROW((void)cache.get_or_fill(key_for(0), nullptr), InvalidArgument);
+}
+
+TEST(TileCache, DistinctKeyCoordinatesNeverAlias) {
+  TileCache cache;
+  std::atomic<int> fills{0};
+  const auto fill_tile = [&](TileId t) {
+    return cache.get_or_fill(key_for(t), [&, t] {
+      ++fills;
+      return stamped_hist(t);
+    });
+  };
+  const TileHistPtr base = fill_tile(1);
+  // Same tile, different band / binning / raster: all separate entries.
+  const TileHistPtr other_band =
+      cache.get_or_fill(key_for(1, 1), [&] { ++fills; return stamped_hist(99); });
+  const TileHistPtr other_binning = cache.get_or_fill(
+      key_for(1, 0, 0x1111, 0x9999), [&] { ++fills; return stamped_hist(98); });
+  const TileHistPtr other_raster = cache.get_or_fill(
+      key_for(1, 0, 0xABCD), [&] { ++fills; return stamped_hist(97); });
+  EXPECT_EQ(fills.load(), 4);
+  EXPECT_NE(base.get(), other_band.get());
+  EXPECT_NE(base.get(), other_binning.get());
+  EXPECT_NE(base.get(), other_raster.get());
+  EXPECT_EQ((*base)[0], 2u);
+  EXPECT_EQ((*other_band)[0], 100u);
+}
+
+// I1: at most one fill per key runs at any time; concurrent callers for
+// the same key block and share the one published histogram.
+TEST(TileCache, ConcurrentSameKeyCallersShareOneFill) {
+  TileCache cache;
+  const TileHistKey k = key_for(3);
+  std::atomic<int> fills{0};
+  std::atomic<int> in_fill{0};
+  constexpr int kThreads = 8;
+  std::vector<TileHistPtr> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      got[t] = cache.get_or_fill(k, [&] {
+        ++fills;
+        EXPECT_EQ(in_fill.fetch_add(1), 0) << "two fills ran concurrently";
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        in_fill.fetch_sub(1);
+        return stamped_hist(3);
+      });
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(fills.load(), 1);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(got[t].get(), got[0].get()) << "thread " << t;
+  }
+  const TileCacheStats s = cache.stats();
+  // I3: every call is exactly one hit or one miss.
+  EXPECT_EQ(s.hits + s.misses, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.fills, 1u);
+}
+
+// I2: resident bytes never exceed the budget once fills publish.
+TEST(TileCache, EvictionKeepsBytesUnderBudget) {
+  // Measure the exact per-entry cost first, then budget for ~3 entries.
+  std::uint64_t per_entry = 0;
+  {
+    TileCache probe(TileCacheConfig{.budget_bytes = 1 << 20, .shards = 1});
+    (void)probe.get_or_fill(key_for(0), [] { return stamped_hist(0, 1024); });
+    per_entry = probe.bytes();
+    ASSERT_GT(per_entry, 1024u * sizeof(BinCount) - 1);
+  }
+  TileCache cache(TileCacheConfig{
+      .budget_bytes = static_cast<std::size_t>(3 * per_entry + per_entry / 2),
+      .shards = 1});
+  for (TileId t = 0; t < 32; ++t) {
+    (void)cache.get_or_fill(key_for(t), [t] { return stamped_hist(t, 1024); });
+    EXPECT_LE(cache.bytes(), cache.budget_bytes()) << "after tile " << t;
+  }
+  const TileCacheStats s = cache.stats();
+  EXPECT_EQ(s.fills, 32u);
+  EXPECT_GE(s.evictions, 29u);  // at most 3 resident at the end
+  EXPECT_LE(s.bytes, cache.budget_bytes());
+}
+
+TEST(TileCache, EvictionIsLeastRecentlyUsed) {
+  std::uint64_t per_entry = 0;
+  {
+    TileCache probe(TileCacheConfig{.budget_bytes = 1 << 20, .shards = 1});
+    (void)probe.get_or_fill(key_for(0), [] { return stamped_hist(0, 512); });
+    per_entry = probe.bytes();
+  }
+  // Room for exactly two entries.
+  TileCache cache(TileCacheConfig{
+      .budget_bytes = static_cast<std::size_t>(2 * per_entry + per_entry / 2),
+      .shards = 1});
+  std::atomic<int> fills{0};
+  const auto get = [&](TileId t) {
+    return cache.get_or_fill(key_for(t), [&, t] {
+      ++fills;
+      return stamped_hist(t, 512);
+    });
+  };
+  (void)get(1);  // LRU: [1]
+  (void)get(2);  // LRU: [2, 1]
+  (void)get(1);  // touch -> LRU: [1, 2]
+  (void)get(3);  // evicts 2 -> LRU: [3, 1]
+  EXPECT_EQ(fills.load(), 3);
+  (void)get(1);  // still resident: hit, no new fill
+  EXPECT_EQ(fills.load(), 3);
+  (void)get(2);  // was evicted: refills
+  EXPECT_EQ(fills.load(), 4);
+}
+
+// I4: an evicted histogram stays alive through the handed-out pointer.
+TEST(TileCache, EvictedHistogramOutlivesEviction) {
+  std::uint64_t per_entry = 0;
+  {
+    TileCache probe(TileCacheConfig{.budget_bytes = 1 << 20, .shards = 1});
+    (void)probe.get_or_fill(key_for(0), [] { return stamped_hist(0, 256); });
+    per_entry = probe.bytes();
+  }
+  TileCache cache(TileCacheConfig{
+      .budget_bytes = static_cast<std::size_t>(per_entry + per_entry / 2),
+      .shards = 1});
+  const TileHistPtr held =
+      cache.get_or_fill(key_for(5), [] { return stamped_hist(5, 256); });
+  for (TileId t = 10; t < 14; ++t) {
+    (void)cache.get_or_fill(key_for(t), [t] { return stamped_hist(t, 256); });
+  }
+  EXPECT_GE(cache.stats().evictions, 3u);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->size(), 256u);
+  EXPECT_EQ((*held)[100], 6u);  // payload intact after eviction
+}
+
+TEST(TileCache, FailedFillPropagatesAndNextCallerRetries) {
+  TileCache cache;
+  const TileHistKey k = key_for(9);
+  EXPECT_THROW((void)cache.get_or_fill(
+                   k, []() -> std::vector<BinCount> {
+                     throw std::runtime_error("fill boom");
+                   }),
+               std::runtime_error);
+  // The claim was aborted: the next caller fills successfully.
+  std::atomic<int> fills{0};
+  const TileHistPtr p = cache.get_or_fill(k, [&] {
+    ++fills;
+    return stamped_hist(9);
+  });
+  EXPECT_EQ(fills.load(), 1);
+  ASSERT_NE(p, nullptr);
+  const TileCacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 2u);  // the failed attempt and the retry
+  EXPECT_EQ(s.fills, 1u);   // only the retry completed (I3: fills <= misses)
+}
+
+TEST(TileCache, WaiterTakesOverAfterFillerFails) {
+  TileCache cache;
+  const TileHistKey k = key_for(11);
+  std::atomic<bool> filler_inside{false};
+  std::atomic<int> successful_fills{0};
+
+  std::thread filler([&] {
+    try {
+      (void)cache.get_or_fill(k, [&]() -> std::vector<BinCount> {
+        filler_inside = true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        throw std::runtime_error("filler dies");
+      });
+      ADD_FAILURE() << "filler exception was swallowed";
+    } catch (const std::runtime_error&) {
+    }
+  });
+  // Enter get_or_fill while the doomed fill is in flight so this call
+  // blocks on the in-flight guard, then takes over after the abort.
+  while (!filler_inside.load()) std::this_thread::yield();
+  const TileHistPtr p = cache.get_or_fill(k, [&] {
+    ++successful_fills;
+    return stamped_hist(11);
+  });
+  filler.join();
+  EXPECT_EQ(successful_fills.load(), 1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ((*p)[0], 12u);
+}
+
+TEST(TileCache, ClearDropsEverythingAndZeroesBytes) {
+  TileCache cache;
+  std::atomic<int> fills{0};
+  for (TileId t = 0; t < 8; ++t) {
+    (void)cache.get_or_fill(key_for(t), [&, t] {
+      ++fills;
+      return stamped_hist(t);
+    });
+  }
+  EXPECT_GT(cache.bytes(), 0u);
+  cache.clear();
+  EXPECT_EQ(cache.bytes(), 0u);
+  // Every key refills after a clear.
+  for (TileId t = 0; t < 8; ++t) {
+    (void)cache.get_or_fill(key_for(t), [&, t] {
+      ++fills;
+      return stamped_hist(t);
+    });
+  }
+  EXPECT_EQ(fills.load(), 16);
+}
+
+TEST(TileCache, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TileCache(TileCacheConfig{.shards = 1}).shard_count(), 1u);
+  EXPECT_EQ(TileCache(TileCacheConfig{.shards = 5}).shard_count(), 8u);
+  EXPECT_EQ(TileCache(TileCacheConfig{.shards = 0}).shard_count(), 1u);
+}
+
+TEST(TileCacheFingerprint, RasterFingerprintTracksContent) {
+  const GeoTransform gt(0.0, 4.0, 0.5, 0.5);
+  DemRaster a = test::random_raster(8, 8, 0, 100, gt);
+  const DemRaster a_copy = a;
+  const std::uint64_t fp_a = fingerprint_raster(a);
+  EXPECT_EQ(fingerprint_raster(a_copy), fp_a);
+
+  DemRaster cell_changed = a;
+  cell_changed.at(3, 3) = cell_changed.at(3, 3) + 1;
+  EXPECT_NE(fingerprint_raster(cell_changed), fp_a);
+
+  DemRaster nodata_changed = a;
+  nodata_changed.set_nodata(CellValue{4242});
+  EXPECT_NE(fingerprint_raster(nodata_changed), fp_a);
+}
+
+TEST(TileCacheFingerprint, BinningFingerprintSeparatesSchemes) {
+  const std::uint64_t base = fingerprint_binning(360, 5000);
+  EXPECT_EQ(fingerprint_binning(360, 5000), base);
+  EXPECT_NE(fingerprint_binning(360, 4999), base);
+  EXPECT_NE(fingerprint_binning(256, 5000), base);
+}
+
+}  // namespace
+}  // namespace zh

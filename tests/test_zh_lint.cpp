@@ -51,6 +51,7 @@ TEST(ZhLint, ViolationTreeReportsExactFindings) {
       "src/core/manual_lock.cpp:4:raw-mutex-lock",
       "src/core/manual_lock.cpp:5:raw-mutex-lock",
       "src/core/narrow.cpp:4:index-width",
+      "src/core/narrow.cpp:7:index-width",
       "src/core/noisy.cpp:4:stdio-in-lib",
       "src/core/noisy.cpp:5:stdio-in-lib",
       "src/core/partial_switch.cpp:5:switch-enum",

@@ -43,6 +43,15 @@ bool is_index_name(const std::string& s) {
   return std::regex_match(s, re);
 }
 
+/// Names that conventionally hold exclusive-scan results or group
+/// offsets (the Fig.-4 pos_v/num_v arrays and kin). These index into
+/// pair/cell arrays whose totals are size_t, so their element type must
+/// be 64-bit.
+bool is_scan_vector_name(const std::string& s) {
+  static const std::regex re("^(num|pos|offsets?|scans?|prefix|starts?)(_v)?_?$");
+  return std::regex_match(s, re);
+}
+
 bool is_narrow_type_name(const std::string& s) {
   static const std::set<std::string> narrow = {
       "int",      "unsigned", "short",    "int8_t",   "uint8_t",
@@ -375,6 +384,48 @@ void rule_index_width(const SourceFile& f, std::vector<Finding>& out) {
         << "; widen with static_cast<std::int64_t>/std::size_t before "
            "multiplying (cell/tile indices are 64-bit)";
     out.push_back({f.rel, toks[i].line, "index-width", msg.str()});
+  }
+
+  // Pass 3: scan/offset vectors with a narrow element type. pos_v-style
+  // arrays hold exclusive-scan outputs -- offsets into pair/cell arrays
+  // whose totals are size_t -- so a 32-bit element wraps silently once a
+  // run crosses 2^32 pairs (the PolygonTileGroups::pos_v bug).
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "vector") continue;
+    if (toks[i + 1].text != "<") continue;
+    std::size_t t = i + 2;
+    if (t + 1 < toks.size() && toks[t].text == "std" &&
+        toks[t + 1].text == "::") {
+      t += 2;
+    }
+    if (t >= toks.size() || toks[t].kind != TokKind::kIdent) continue;
+    std::string elem = toks[t].text;
+    if (elem == "unsigned" && t + 1 < toks.size() &&
+        (is_narrow_type_name(toks[t + 1].text) ||
+         is_wide_type_name(toks[t + 1].text))) {
+      ++t;
+      elem = elem + " " + toks[t].text;
+      if (is_wide_type_name(toks[t].text)) continue;
+    } else if (!is_narrow_type_name(elem)) {
+      continue;
+    }
+    std::size_t p = t + 1;
+    if (p >= toks.size() || toks[p].text != ">") continue;
+    ++p;
+    while (p < toks.size() && (toks[p].text == "&" || toks[p].text == "const")) {
+      ++p;
+    }
+    if (p >= toks.size() || toks[p].kind != TokKind::kIdent ||
+        !is_scan_vector_name(toks[p].text)) {
+      continue;
+    }
+    std::ostringstream msg;
+    msg << "32-bit scan/offset vector: 'vector<" << elem << "> "
+        << toks[p].text
+        << "' holds offsets into arrays sized by size_t; use "
+           "std::uint64_t/std::size_t elements (an exclusive scan past "
+           "2^32 wraps silently)";
+    out.push_back({f.rel, toks[p].line, "index-width", msg.str()});
   }
 }
 

@@ -29,14 +29,21 @@
 //     Geometry validity report.
 //   zhist catalog <dir> [-o hist.csv] [--bins N] [--tile N] [--eager]
 //     Out-of-core run over a catalog directory.
+//   zhist query --batch spec.json [--tile N] [--cache-budget-mb N]
+//     Multi-query batch through the QueryEngine: rasters load once, and
+//     Step-1 tile histograms are shared across queries via the tile
+//     cache. The JSON spec holds the query list (see cmd_query).
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "zh.hpp"
 
 namespace {
@@ -57,7 +64,10 @@ using namespace zh;
                "  zhist render <raster> <out.ppm> [--max-edge N]\n"
                "  zhist synth <out.zgrid> [--rows N] [--cols N] "
                "[--seed S]\n"
-               "  zhist zones <out.tsv> [--zones N] [--seed S]\n");
+               "  zhist zones <out.tsv> [--zones N] [--seed S]\n"
+               "  zhist query --batch spec.json [--tile N] "
+               "[--cache-budget-mb N] [--metrics FILE] [--trace FILE] "
+               "[--report]\n");
   std::exit(2);
 }
 
@@ -87,6 +97,8 @@ struct Args {
   std::string trace;    ///< Chrome trace_event JSON output path
   std::string metrics;  ///< run-report JSON output path
   bool report = false;  ///< print the human-readable run report
+  std::string batch;    ///< JSON batch spec for `zhist query`
+  std::size_t cache_budget_mb = 256;  ///< tile-cache budget for `query`
 };
 
 Args parse(int argc, char** argv) {
@@ -154,6 +166,10 @@ Args parse(int argc, char** argv) {
       args.metrics = next();
     } else if (a == "--report") {
       args.report = true;
+    } else if (a == "--batch") {
+      args.batch = next();
+    } else if (a == "--cache-budget-mb") {
+      args.cache_budget_mb = static_cast<std::size_t>(std::stoull(next()));
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       usage();
@@ -558,6 +574,152 @@ int cmd_catalog(const Args& args) {
   return 0;
 }
 
+// Batch spec (parsed with the strict obs JSON reader):
+//   {"tile": 360,                      // optional, cache-key tile size
+//    "cache_budget_mb": 256,           // optional, overridden by flag
+//    "queries": [{"raster": "dem.zgrid", "zones": "zones.tsv",
+//                 "bins": 100, "out": "q0.csv"}, ...]}
+// Rasters and zone layers are deduplicated by path, so repeated paths
+// load once and queries against the same raster share cache entries.
+int cmd_query(const Args& args) {
+  if (args.batch.empty() || !args.positional.empty()) usage();
+  const bool with_obs = setup_obs(args);
+  const obs::JsonValue spec = obs::parse_json_file(args.batch);
+  ZH_REQUIRE(spec.is_object(), "batch spec must be a JSON object: ",
+             args.batch);
+  const obs::JsonValue* queries = spec.find("queries");
+  ZH_REQUIRE(queries != nullptr && queries->is_array() &&
+                 !queries->arr.empty(),
+             "batch spec needs a non-empty \"queries\" array");
+
+  QueryEngineConfig cfg;
+  cfg.tile_size = args.tile;
+  if (const obs::JsonValue* t = spec.find("tile");
+      t != nullptr && t->is_number()) {
+    cfg.tile_size = static_cast<std::int64_t>(t->number);
+  }
+  std::size_t budget_mb = args.cache_budget_mb;
+  if (const obs::JsonValue* b = spec.find("cache_budget_mb");
+      b != nullptr && b->is_number()) {
+    budget_mb = static_cast<std::size_t>(b->number);
+  }
+  cfg.cache.budget_bytes = budget_mb << 20;
+
+  // Load each distinct path once. Deques keep element addresses stable
+  // as they grow; the engine and queries hold pointers into them.
+  std::deque<DemRaster> rasters;
+  std::deque<PolygonSet> zone_layers;
+  std::map<std::string, RasterHandle> raster_by_path;
+  std::map<std::string, const PolygonSet*> zones_by_path;
+
+  Device device;
+  QueryEngine engine(device, cfg);
+  struct QuerySpec {
+    ZonalQuery query;
+    std::string out;
+  };
+  std::vector<QuerySpec> plan;
+  plan.reserve(queries->arr.size());
+  for (std::size_t i = 0; i < queries->arr.size(); ++i) {
+    const obs::JsonValue& q = queries->arr[i];
+    ZH_REQUIRE(q.is_object(), "query ", i, " must be a JSON object");
+    const obs::JsonValue* raster = q.find("raster");
+    const obs::JsonValue* zones = q.find("zones");
+    ZH_REQUIRE(raster != nullptr && raster->is_string(), "query ", i,
+               " needs a \"raster\" path");
+    ZH_REQUIRE(zones != nullptr && zones->is_string(), "query ", i,
+               " needs a \"zones\" path");
+    QuerySpec qs;
+    if (const auto it = raster_by_path.find(raster->str);
+        it != raster_by_path.end()) {
+      qs.query.raster = it->second;
+    } else {
+      rasters.push_back(load_raster(raster->str));
+      qs.query.raster = engine.add_raster(rasters.back());
+      raster_by_path.emplace(raster->str, qs.query.raster);
+    }
+    if (const auto it = zones_by_path.find(zones->str);
+        it != zones_by_path.end()) {
+      qs.query.zones = it->second;
+    } else {
+      zone_layers.push_back(read_polygon_tsv(zones->str));
+      qs.query.zones = &zone_layers.back();
+      zones_by_path.emplace(zones->str, qs.query.zones);
+    }
+    qs.query.bins = args.bins;
+    if (const obs::JsonValue* bins = q.find("bins");
+        bins != nullptr && bins->is_number()) {
+      qs.query.bins = static_cast<BinIndex>(bins->number);
+    }
+    if (const obs::JsonValue* out = q.find("out");
+        out != nullptr && out->is_string()) {
+      qs.out = out->str;
+      require_writable(qs.out);
+    }
+    plan.push_back(std::move(qs));
+  }
+
+  std::fprintf(stderr,
+               "batch: %zu queries, %zu rasters, %zu zone layers, "
+               "tile %lld, cache %zu MB\n",
+               plan.size(), rasters.size(), zone_layers.size(),
+               static_cast<long long>(cfg.tile_size), budget_mb);
+
+  Timer timer;
+  StepTimes total_times;
+  WorkCounters total_work;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const QueryResult r = engine.run(plan[i].query);
+    for (std::size_t st = 0; st < StepTimes::kSteps; ++st) {
+      total_times.seconds[st] += r.times.seconds[st];
+    }
+    total_work += r.work;
+    std::fprintf(stderr,
+                 "query %zu: %zu zones, step1 %.3f s, cache %llu hit / "
+                 "%llu miss\n",
+                 i, r.per_polygon.groups(), r.times.seconds[1],
+                 static_cast<unsigned long long>(r.cache_hits),
+                 static_cast<unsigned long long>(r.cache_misses));
+    if (!plan[i].out.empty()) {
+      write_histogram_csv(plan[i].out, r.per_polygon);
+      std::fprintf(stderr, "wrote %s\n", plan[i].out.c_str());
+    }
+  }
+  const TileCacheStats stats = engine.cache_stats();
+  std::fprintf(stderr,
+               "batch done: %.2f s; cache %llu hits, %llu misses, "
+               "%llu fills, %llu evictions, %.1f MB resident\n",
+               timer.seconds(),
+               static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.misses),
+               static_cast<unsigned long long>(stats.fills),
+               static_cast<unsigned long long>(stats.evictions),
+               static_cast<double>(stats.bytes) / (1024.0 * 1024.0));
+
+  if (with_obs) {
+    obs::RunReport report;
+    report.tool = "zhist query";
+    report.workload = args.batch;
+    report.config = {
+        {"queries", std::to_string(plan.size())},
+        {"rasters", std::to_string(rasters.size())},
+        {"zone_layers", std::to_string(zone_layers.size())},
+        {"tile", std::to_string(cfg.tile_size)},
+        {"cache_budget_mb", std::to_string(budget_mb)},
+    };
+    report.times = total_times;
+    report.has_times = true;
+    append_work_counters(report, total_work);
+    report.counters.emplace_back("cache.hits", stats.hits);
+    report.counters.emplace_back("cache.misses", stats.misses);
+    report.counters.emplace_back("cache.fills", stats.fills);
+    report.counters.emplace_back("cache.evictions", stats.evictions);
+    report.counters.emplace_back("cache.bytes", stats.bytes);
+    finish_obs(args, report);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -575,6 +737,7 @@ int main(int argc, char** argv) {
     if (cmd == "simplify") return cmd_simplify(args);
     if (cmd == "validate") return cmd_validate(args);
     if (cmd == "catalog") return cmd_catalog(args);
+    if (cmd == "query") return cmd_query(args);
   } catch (const zh::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -39,12 +39,22 @@ void tally_work(RankMetricsRow& row, const WorkCounters& work) {
   row.bytes_decoded += work.compressed_bytes;
 }
 
+// Fold one partition's wall time into a rank's latency columns and the
+// live registry histogram the /metrics endpoint serves.
+void tally_latency(RankMetricsRow& row, double seconds) {
+  ZH_LATENCY_RECORD("latency.partition", seconds);
+  const std::uint64_t us = static_cast<std::uint64_t>(seconds * 1e6);
+  row.latency_us_sum += us;
+  row.latency_us_max = std::max(row.latency_us_max, us);
+}
+
 }  // namespace
 
 std::vector<std::string> rank_metrics_columns() {
   return {"partitions",     "heartbeats",    "results",
           "retries",        "comm_bytes",    "cells_histogrammed",
-          "pip_cell_tests", "bytes_decoded", "reported"};
+          "pip_cell_tests", "bytes_decoded", "latency_us_sum",
+          "latency_us_max", "reported"};
 }
 
 std::vector<std::uint64_t> rank_metrics_values(const RankMetricsRow& row) {
@@ -56,6 +66,8 @@ std::vector<std::uint64_t> rank_metrics_values(const RankMetricsRow& row) {
           row.cells_histogrammed,
           row.pip_cell_tests,
           row.bytes_decoded,
+          row.latency_us_sum,
+          row.latency_us_max,
           row.reported};
 }
 
@@ -145,10 +157,13 @@ ClusterRunResult run_cluster_zonal(
       WorkCounters work;
       std::uint32_t done = 0;
       ZonalWorkspace workspace;  // per-tile table reused across partitions
+      RankMetricsRow row;  // latency columns tallied as partitions finish
 
       for (std::uint32_t i = 0; i < parts.size(); ++i) {
         if (parts[i].owner != me) continue;
+        Timer part_timer;
         const ZonalResult r = compute_partition(pipeline, workspace, i);
+        tally_latency(row, part_timer.seconds());
         local.add(r.per_polygon);
         times += r.times;
         work += r.work;
@@ -163,7 +178,6 @@ ClusterRunResult run_cluster_zonal(
 
       // Per-rank metrics row, gathered into the master's table. Filled
       // before its own gather so comm_bytes excludes the row's message.
-      RankMetricsRow row;
       row.partitions_processed = done;
       row.retries = comm.retries();
       row.comm_bytes_sent = comm.bytes_sent();
@@ -296,8 +310,10 @@ ClusterRunResult run_cluster_zonal(
               kRoot, kTagHeartbeat,
               std::span<const std::uint32_t>(&index, 1));
           ++row.heartbeats_sent;
+          Timer part_timer;
           const ZonalResult r =
               compute_partition(pipeline, workspace, index);
+          tally_latency(row, part_timer.seconds());
           comm.checkpoint(CrashPoint::kPartitionDone);
           comm.send_bytes(kRoot, kTagResult,
                           encode_result(index, r.per_polygon.flat()));
@@ -376,8 +392,11 @@ ClusterRunResult run_cluster_zonal(
       return true;
     };
 
+    RankMetricsRow master_row;  // staging for rows[kRoot] latency columns
     const auto compute_own = [&](std::uint32_t index) {
+      Timer part_timer;
       const ZonalResult r = compute_partition(pipeline, workspace, index);
+      tally_latency(master_row, part_timer.seconds());
       accumulate(index, r.per_polygon.flat());
       ++outcome[kRoot].partitions_completed;
       flush(r);
@@ -590,6 +609,8 @@ ClusterRunResult run_cluster_zonal(
       rows[kRoot].retries = comm.retries();
       rows[kRoot].comm_bytes_sent = comm.bytes_sent();
       tally_work(rows[kRoot], result.per_rank_work[kRoot]);
+      rows[kRoot].latency_us_sum = master_row.latency_us_sum;
+      rows[kRoot].latency_us_max = master_row.latency_us_max;
       rows[kRoot].reported = 1;
       for (RankId r = 0; r < comm.size(); ++r) {
         result.rank_metrics[r] = rows[r];

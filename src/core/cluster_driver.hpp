@@ -108,6 +108,8 @@ struct RankMetricsRow {
   std::uint64_t cells_histogrammed = 0;
   std::uint64_t pip_cell_tests = 0;
   std::uint64_t bytes_decoded = 0;  ///< BQ-tree compressed bytes consumed
+  std::uint64_t latency_us_sum = 0;  ///< summed per-partition wall micros
+  std::uint64_t latency_us_max = 0;  ///< slowest partition in micros
   std::uint64_t reported = 0;       ///< 1 when the row arrived from the rank
 
   bool operator==(const RankMetricsRow&) const = default;

@@ -81,12 +81,14 @@ ZonalResult ZonalPipeline::run(const DemRaster& raster,
                        config_.cell_order);
   const HistogramSet& tile_hist = ws.tile_hist;
   result.times.seconds[1] = timer.seconds();
+  ZH_LATENCY_RECORD("latency.step1", result.times.seconds[1]);
 
   // Step 2: MBB rasterization + tile classification + Fig. 4 grouping.
   timer.reset();
   const PairingResult pairing =
       pair_and_group(polygons, tiling, raster.transform());
   result.times.seconds[2] = timer.seconds();
+  ZH_LATENCY_RECORD("latency.step2", result.times.seconds[2]);
   result.work.candidate_pairs = pairing.candidate_pairs;
   result.work.pairs_inside = pairing.inside.pair_count();
   result.work.pairs_intersect = pairing.intersect.pair_count();
@@ -96,6 +98,7 @@ ZonalResult ZonalPipeline::run(const DemRaster& raster,
   aggregate_inside_tiles(*device_, pairing.inside, tile_hist,
                          result.per_polygon);
   result.times.seconds[3] = timer.seconds();
+  ZH_LATENCY_RECORD("latency.step3", result.times.seconds[3]);
   result.work.aggregate_bin_adds =
       static_cast<std::uint64_t>(pairing.inside.pair_count()) *
       config_.bins;
@@ -106,6 +109,7 @@ ZonalResult ZonalPipeline::run(const DemRaster& raster,
       *device_, pairing.intersect, soa, raster, tiling, result.per_polygon,
       config_.refine_granularity, config_.refine_strategy);
   result.times.seconds[4] = timer.seconds();
+  ZH_LATENCY_RECORD("latency.step4", result.times.seconds[4]);
   result.work.pip_cell_tests = rc.cell_tests;
   result.work.pip_edge_tests = rc.edge_tests;
   result.work.pip_rows_scanned = rc.rows_scanned;

@@ -70,6 +70,7 @@ QueryResult QueryEngine::run(const ZonalQuery& query) {
   result.work.polygon_vertices = zones.vertex_count();
   result.work.raw_bytes =
       static_cast<std::uint64_t>(raster.cell_count()) * sizeof(CellValue);
+  Timer total;
   Timer timer;
 
   // Step 2 first (zone-dependent, never cached): the pairing tells us
@@ -79,6 +80,7 @@ QueryResult QueryEngine::run(const ZonalQuery& query) {
     return pair_and_group(zones, tiling, raster.transform());
   }();
   result.times.seconds[2] = timer.seconds();
+  ZH_LATENCY_RECORD("latency.step2", result.times.seconds[2]);
   result.work.candidate_pairs = pairing.candidate_pairs;
   result.work.pairs_inside = pairing.inside.pair_count();
   result.work.pairs_intersect = pairing.intersect.pair_count();
@@ -134,6 +136,7 @@ QueryResult QueryEngine::run(const ZonalQuery& query) {
   note_values_clamped(clamped_values.load());
   result.work.cells_total = cells_filled.load();
   result.times.seconds[1] = timer.seconds();
+  ZH_LATENCY_RECORD("latency.step1", result.times.seconds[1]);
 
   // Step 3 on the compact table: remap tile ids to table slots.
   timer.reset();
@@ -144,6 +147,7 @@ QueryResult QueryEngine::run(const ZonalQuery& query) {
     aggregate_inside_tiles(*device_, inside, tile_hist, result.per_polygon);
   }
   result.times.seconds[3] = timer.seconds();
+  ZH_LATENCY_RECORD("latency.step3", result.times.seconds[3]);
   result.work.aggregate_bin_adds =
       static_cast<std::uint64_t>(pairing.inside.pair_count()) * bins;
 
@@ -158,6 +162,7 @@ QueryResult QueryEngine::run(const ZonalQuery& query) {
                                  config_.refine_strategy);
   }();
   result.times.seconds[4] = timer.seconds();
+  ZH_LATENCY_RECORD("latency.step4", result.times.seconds[4]);
   result.work.pip_cell_tests = rc.cell_tests;
   result.work.pip_edge_tests = rc.edge_tests;
   result.work.pip_rows_scanned = rc.rows_scanned;
@@ -170,6 +175,7 @@ QueryResult QueryEngine::run(const ZonalQuery& query) {
   const TileCacheStats after = cache_.stats();
   result.cache_hits = after.hits - before.hits;
   result.cache_misses = after.misses - before.misses;
+  ZH_LATENCY_RECORD("latency.query", total.seconds());
   return result;
 }
 

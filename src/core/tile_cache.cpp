@@ -190,7 +190,9 @@ TileHistPtr TileCache::get_or_fill(
     ++shard.fills;
     ZH_COUNTER_ADD("cache.fills", 1);
     shard.evict_to_budget(shard_budget_, total_bytes_);
-    ZH_GAUGE_MAX("cache.bytes",
+    // Level gauge, not high-water mark: evictions shrink the cache and
+    // the exposed series must follow it down.
+    ZH_GAUGE_SET("cache.bytes",
                  total_bytes_.load(std::memory_order_relaxed));
   }
   shard.ready_cv.notify_all();

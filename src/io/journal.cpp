@@ -14,6 +14,7 @@
 #include <limits>
 
 #include "common/crc32.hpp"
+#include "common/timer.hpp"
 #include "geom/soa.hpp"
 #include "obs/obs.hpp"
 
@@ -79,8 +80,10 @@ void write_all(int fd, const char* data, std::size_t size,
 }
 
 void sync_fd(int fd, const std::string& path) {
+  Timer timer;
   ZH_REQUIRE_IO(::fsync(fd) == 0, "journal fsync failed for ", path, ": ",
                 std::strerror(errno));
+  ZH_LATENCY_RECORD("latency.journal_fsync", timer.seconds());
 }
 
 std::vector<char> manifest_blob(const RunManifest& m) {

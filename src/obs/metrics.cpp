@@ -1,8 +1,11 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
@@ -20,11 +23,25 @@ namespace {
 // shard never moves existing Slots, so concurrent snapshot readers can
 // hold references across a grow (they take the shard mutex anyway; the
 // stability matters for the *updating* thread racing a snapshot).
+// Per-thread latency buckets, allocated lazily on the first sample for
+// that (thread, metric) pair so slots for the other kinds stay small.
+// C++20 value-initialized atomics start at zero.
+struct LatencyBuckets {
+  std::array<std::atomic<std::uint64_t>, kLatencyBucketCount> counts{};
+};
+
 struct Slot {
   std::atomic<std::uint64_t> count{0};  ///< counter/gauge value; stat count
   std::atomic<double> sum{0.0};
   std::atomic<double> min{std::numeric_limits<double>::infinity()};
   std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  /// kGaugeSet: global set-sequence ticket of the last set on this
+  /// thread; 0 means never set. The merge keeps the highest ticket.
+  std::atomic<std::uint64_t> seq{0};
+  /// kLatency only. Written by the owning thread under the shard mutex
+  /// (once), read by snapshot/reset under the same mutex; the owner's
+  /// later unlocked reads race nothing (same thread wrote it).
+  std::unique_ptr<LatencyBuckets> latency;
 };
 
 // Plain merged totals (retired-shard accumulator and snapshot rows).
@@ -33,7 +50,12 @@ struct Totals {
   double sum = 0.0;
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
+  std::uint64_t seq = 0;                ///< kGaugeSet merge ticket
+  std::vector<std::uint64_t> latency;   ///< kLatency bucket sums
 };
+
+// Ticket dispenser for gauge_set ordering across threads.
+std::atomic<std::uint64_t> g_gauge_set_seq{0};
 
 struct Shard;
 
@@ -67,6 +89,16 @@ void merge_slot(const Meta& meta, const Slot& slot, Totals& into) {
     case MetricKind::kGauge:
       if (c > into.count) into.count = c;
       break;
+    case MetricKind::kGaugeSet: {
+      // Acquire pairs with the release in gauge_set(): observing the
+      // ticket implies observing the value stored just before it.
+      const std::uint64_t sq = slot.seq.load(std::memory_order_acquire);
+      if (sq > into.seq) {
+        into.seq = sq;
+        into.count = slot.count.load(std::memory_order_relaxed);
+      }
+      break;
+    }
     case MetricKind::kStat: {
       into.count += c;
       into.sum += slot.sum.load(std::memory_order_relaxed);
@@ -74,6 +106,22 @@ void merge_slot(const Meta& meta, const Slot& slot, Totals& into) {
       const double mx = slot.max.load(std::memory_order_relaxed);
       if (mn < into.min) into.min = mn;
       if (mx > into.max) into.max = mx;
+      break;
+    }
+    case MetricKind::kLatency: {
+      into.count += c;
+      into.sum += slot.sum.load(std::memory_order_relaxed);
+      const double mn = slot.min.load(std::memory_order_relaxed);
+      const double mx = slot.max.load(std::memory_order_relaxed);
+      if (mn < into.min) into.min = mn;
+      if (mx > into.max) into.max = mx;
+      if (slot.latency != nullptr) {
+        if (into.latency.empty()) into.latency.assign(kLatencyBucketCount, 0);
+        for (std::size_t i = 0; i < kLatencyBucketCount; ++i) {
+          into.latency[i] +=
+              slot.latency->counts[i].load(std::memory_order_relaxed);
+        }
+      }
       break;
     }
   }
@@ -166,12 +214,41 @@ void gauge_max(MetricId id, std::uint64_t value) {
   }
 }
 
+void gauge_set(MetricId id, std::uint64_t value) {
+  Slot& s = local_shard().slot(id);
+  const std::uint64_t ticket =
+      g_gauge_set_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  s.count.store(value, std::memory_order_relaxed);
+  // Release after the value: a merge that sees this ticket sees the
+  // value that came with it.
+  s.seq.store(ticket, std::memory_order_release);
+}
+
 void stat_record(MetricId id, double sample) {
   Slot& s = local_shard().slot(id);
   s.count.fetch_add(1, std::memory_order_relaxed);
   atomic_add_double(s.sum, sample);
   atomic_min_double(s.min, sample);
   atomic_max_double(s.max, sample);
+}
+
+void latency_record(MetricId id, double seconds) {
+  Shard& sh = local_shard();
+  Slot& s = sh.slot(id);
+  if (s.latency == nullptr) {
+    // First sample for this (thread, metric): allocate the bucket array
+    // under the shard mutex so a concurrent snapshot never races the
+    // pointer install. Later samples skip this entirely.
+    std::lock_guard<std::mutex> lock(sh.mu);
+    s.latency = std::make_unique<LatencyBuckets>();
+  }
+  const double v = std::isnan(seconds) ? 0.0 : seconds;
+  s.latency->counts[latency_bucket_index(seconds)].fetch_add(
+      1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(s.sum, v);
+  atomic_min_double(s.min, v);
+  atomic_max_double(s.max, v);
 }
 
 std::vector<MetricRecord> metrics_snapshot() {
@@ -193,14 +270,33 @@ std::vector<MetricRecord> metrics_snapshot() {
     MetricRecord& rec = out[id];
     rec.name = r.metas[id].name;
     rec.kind = r.metas[id].kind;
-    if (rec.kind == MetricKind::kStat) {
-      rec.count = totals[id].count;
-      rec.sum = totals[id].sum;
-      rec.min = totals[id].count ? totals[id].min : 0.0;
-      rec.max = totals[id].count ? totals[id].max : 0.0;
-      rec.value = totals[id].count;
-    } else {
-      rec.value = totals[id].count;
+    switch (rec.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+      case MetricKind::kGaugeSet:
+        rec.value = totals[id].count;
+        break;
+      case MetricKind::kStat:
+        rec.count = totals[id].count;
+        rec.sum = totals[id].sum;
+        rec.min = totals[id].count ? totals[id].min : 0.0;
+        rec.max = totals[id].count ? totals[id].max : 0.0;
+        rec.value = totals[id].count;
+        break;
+      case MetricKind::kLatency: {
+        rec.count = totals[id].count;
+        rec.sum = totals[id].sum;
+        rec.min = totals[id].count ? totals[id].min : 0.0;
+        rec.max = totals[id].count ? totals[id].max : 0.0;
+        rec.value = totals[id].count;
+        for (std::size_t i = 0; i < totals[id].latency.size(); ++i) {
+          rec.latency.add_bucket(i, totals[id].latency[i]);
+        }
+        if (!rec.latency.empty()) {
+          rec.latency.set_stats(rec.sum, rec.min, rec.max);
+        }
+        break;
+      }
     }
   }
   return out;
@@ -219,6 +315,12 @@ void metrics_reset() {
                   std::memory_order_relaxed);
       s.max.store(-std::numeric_limits<double>::infinity(),
                   std::memory_order_relaxed);
+      s.seq.store(0, std::memory_order_relaxed);
+      if (s.latency != nullptr) {
+        for (std::atomic<std::uint64_t>& b : s.latency->counts) {
+          b.store(0, std::memory_order_relaxed);
+        }
+      }
     }
   }
 }

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/latency_histogram.hpp"
+
 namespace zh::obs {
 
 namespace detail {
@@ -34,10 +36,25 @@ inline bool metrics_enabled() {
 /// Turn metric recording on/off (process-wide).
 void set_metrics_enabled(bool on);
 
+// Merge semantics per kind (how per-thread shards combine at snapshot):
+//   kCounter  -- sum across shards; monotone by construction.
+//   kGauge    -- max across shards: a high-water mark (peak bytes). It
+//                can never go down, even across metrics_reset-free runs.
+//   kGaugeSet -- last value wins: every gauge_set() draws a ticket from
+//                a process-global sequence, and the merge keeps the
+//                value with the highest ticket. This is the level-style
+//                gauge (current cache bytes, open connections) that can
+//                go DOWN, which kGauge structurally cannot.
+//   kStat     -- count/sum/min/max of double samples.
+//   kLatency  -- log-linear histogram (latency_histogram.hpp): buckets
+//                add element-wise, so merges are exact, associative and
+//                commutative, and quantiles survive aggregation.
 enum class MetricKind : std::uint8_t {
-  kCounter,  ///< monotonically increasing u64 (merge: sum)
-  kGauge,    ///< u64 level; merge keeps the max (e.g. peak bytes)
-  kStat,     ///< double samples; merge: count/sum/min/max
+  kCounter,   ///< monotonically increasing u64 (merge: sum)
+  kGauge,     ///< u64 high-water mark; merge keeps the max
+  kGaugeSet,  ///< u64 level; merge keeps the most recent set (can go down)
+  kStat,      ///< double samples; merge: count/sum/min/max
+  kLatency,   ///< log-linear latency histogram; merge: per-bucket sum
 };
 
 /// Dense id of an interned metric name. Call sites cache it in a
@@ -52,22 +69,35 @@ MetricId metric_id(const char* name, MetricKind kind);
 /// Add `delta` to counter `id` (calling thread's shard).
 void counter_add(MetricId id, std::uint64_t delta);
 
-/// Raise gauge `id` to at least `value`.
+/// Raise gauge `id` to at least `value` (kGauge).
 void gauge_max(MetricId id, std::uint64_t value);
+
+/// Overwrite gauge `id` with `value` (kGaugeSet). Last set wins
+/// process-wide, ordered by a global set-sequence ticket, so a later
+/// set on any thread beats an earlier set on any other.
+void gauge_set(MetricId id, std::uint64_t value);
 
 /// Record one sample into stat `id`.
 void stat_record(MetricId id, double sample);
+
+/// Record one latency sample in seconds into histogram `id` (kLatency).
+/// Lock-free after the calling thread's first sample for this id (the
+/// first sample allocates the thread's bucket array under the shard
+/// mutex; every later one is a relaxed fetch_add on a private bucket).
+void latency_record(MetricId id, double seconds);
 
 /// Merged view of one metric across all shards (live + retired).
 struct MetricRecord {
   std::string name;
   MetricKind kind = MetricKind::kCounter;
-  std::uint64_t value = 0;  ///< counter sum or gauge max
-  // Stat fields (kStat only; count doubles as the sample count).
+  std::uint64_t value = 0;  ///< counter sum, gauge max, or gauge_set last
+  // Stat fields (kStat/kLatency; count doubles as the sample count).
   std::uint64_t count = 0;
   double sum = 0.0;
   double min = 0.0;  ///< 0 when count == 0
   double max = 0.0;
+  // Merged histogram (kLatency only; empty otherwise).
+  LatencyHistogram latency;
 };
 
 /// Merge every shard and return all registered metrics in registration
@@ -108,12 +138,28 @@ inline bool profiling_enabled() { return metrics_enabled() || trace_enabled(); }
       ::zh::obs::gauge_max(zh_obs_id_, static_cast<std::uint64_t>(value));   \
     }                                                                        \
   } while (false)
+#define ZH_GAUGE_SET(name, value)                                            \
+  do {                                                                       \
+    if (::zh::obs::metrics_enabled()) {                                      \
+      static const ::zh::obs::MetricId zh_obs_id_ =                          \
+          ::zh::obs::metric_id(name, ::zh::obs::MetricKind::kGaugeSet);      \
+      ::zh::obs::gauge_set(zh_obs_id_, static_cast<std::uint64_t>(value));   \
+    }                                                                        \
+  } while (false)
 #define ZH_STAT_RECORD(name, sample)                                         \
   do {                                                                       \
     if (::zh::obs::metrics_enabled()) {                                      \
       static const ::zh::obs::MetricId zh_obs_id_ =                          \
           ::zh::obs::metric_id(name, ::zh::obs::MetricKind::kStat);          \
       ::zh::obs::stat_record(zh_obs_id_, static_cast<double>(sample));       \
+    }                                                                        \
+  } while (false)
+#define ZH_LATENCY_RECORD(name, seconds)                                     \
+  do {                                                                       \
+    if (::zh::obs::metrics_enabled()) {                                      \
+      static const ::zh::obs::MetricId zh_obs_id_ =                          \
+          ::zh::obs::metric_id(name, ::zh::obs::MetricKind::kLatency);       \
+      ::zh::obs::latency_record(zh_obs_id_, static_cast<double>(seconds));   \
     }                                                                        \
   } while (false)
 #else
@@ -123,7 +169,13 @@ inline bool profiling_enabled() { return metrics_enabled() || trace_enabled(); }
 #define ZH_GAUGE_MAX(name, value) \
   do {                            \
   } while (false)
+#define ZH_GAUGE_SET(name, value) \
+  do {                            \
+  } while (false)
 #define ZH_STAT_RECORD(name, sample) \
   do {                               \
+  } while (false)
+#define ZH_LATENCY_RECORD(name, seconds) \
+  do {                                   \
   } while (false)
 #endif

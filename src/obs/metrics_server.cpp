@@ -1,0 +1,166 @@
+#include "obs/metrics_server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+
+namespace zh::obs {
+
+namespace {
+
+double mono_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; a scrape retry is cheap
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsServer::MetricsServer(const MetricsServerOptions& options)
+    : options_(options),
+      window_(std::max(options.window_seconds * 2.0,
+                       options.tick_seconds * 4.0),
+              options.window_samples) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  ZH_REQUIRE_IO(listen_fd_ >= 0,
+                "metrics server: socket() failed: ", std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ZH_REQUIRE_IO(false, "metrics server: cannot listen on 127.0.0.1:",
+                  options_.port, ": ", std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ZH_REQUIRE_IO(::getsockname(listen_fd_,
+                              reinterpret_cast<sockaddr*>(&bound),
+                              &len) == 0,
+                "metrics server: getsockname() failed");
+  port_ = ntohs(bound.sin_port);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::stop() {
+  if (!stop_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+}
+
+void MetricsServer::maybe_tick() {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  const double now = mono_now();
+  if (last_tick_ >= 0.0 && now - last_tick_ < options_.tick_seconds) return;
+  last_tick_ = now;
+  window_.push(now, metrics_snapshot());
+}
+
+std::string MetricsServer::render() {
+  maybe_tick();
+  ExpositionOptions opts;
+  opts.window = &window_;
+  opts.window_seconds = options_.window_seconds;
+  opts.now_seconds = mono_now();
+  return prometheus_exposition(metrics_snapshot(), opts);
+}
+
+void MetricsServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    maybe_tick();
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, 200);  // ms; bounds stop() latency
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    ZH_GAUGE_SET("serve.open_connections", 1);
+    handle_connection(fd);
+    ::close(fd);
+    ZH_GAUGE_SET("serve.open_connections", 0);
+  }
+}
+
+void MetricsServer::handle_connection(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  ZH_COUNTER_ADD("serve.http_requests", 1);
+  // "GET <path> HTTP/1.x"
+  std::string path;
+  if (request.rfind("GET ", 0) == 0) {
+    const std::size_t end = request.find(' ', 4);
+    if (end != std::string::npos) path = request.substr(4, end - 4);
+  }
+  if (path == "/metrics") {
+    ZH_COUNTER_ADD("serve.scrapes", 1);
+    send_all(fd, http_response(
+                     "200 OK", "text/plain; version=0.0.4; charset=utf-8",
+                     render()));
+  } else if (path == "/healthz") {
+    send_all(fd, http_response("200 OK", "text/plain; charset=utf-8",
+                               "ok\n"));
+  } else {
+    ZH_COUNTER_ADD("serve.http_errors", 1);
+    send_all(fd, http_response("404 Not Found",
+                               "text/plain; charset=utf-8",
+                               "not found\n"));
+  }
+}
+
+}  // namespace zh::obs

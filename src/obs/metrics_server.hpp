@@ -1,0 +1,69 @@
+// Minimal embedded HTTP server for live scrapes: /metrics (Prometheus
+// text exposition v0.0.4) and /healthz, served from one background
+// thread over loopback.
+//
+// The server owns a RollingWindow: the poll loop snapshots the registry
+// every tick_seconds and pushes the result, so scrapes carry both the
+// cumulative series and *_rate / *_window views over the trailing
+// window. Connections are handled serially (scrapes are rare and the
+// exposition is small); the listener binds 127.0.0.1 only -- this is an
+// operator port, not a public one. stop() (and the destructor) joins
+// the thread, so the object can live on the stack of a zhist command.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/rolling_window.hpp"
+
+namespace zh::obs {
+
+struct MetricsServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port
+  /// (read it back with port()).
+  std::uint16_t port = 0;
+  /// Window push cadence of the background thread.
+  double tick_seconds = 1.0;
+  /// Trailing window the *_rate / *_window series cover.
+  double window_seconds = 60.0;
+  /// Ring capacity handed to the RollingWindow.
+  std::size_t window_samples = 128;
+};
+
+class MetricsServer {
+ public:
+  /// Binds and starts the serving thread; throws IoError when the
+  /// socket cannot be bound.
+  explicit MetricsServer(const MetricsServerOptions& options);
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// Actual bound port (resolves port 0 to the kernel's pick).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// One rendered exposition, exactly what /metrics would serve now.
+  [[nodiscard]] std::string render();
+
+  /// Stop serving and join the thread; idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+  void maybe_tick();
+  void handle_connection(int fd);
+
+  MetricsServerOptions options_;
+  RollingWindow window_;
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  double last_tick_ = -1.0;
+  std::mutex tick_mu_;  ///< serializes ticker vs render()
+  std::thread thread_;
+};
+
+}  // namespace zh::obs

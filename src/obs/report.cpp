@@ -46,8 +46,12 @@ const char* kind_name(MetricKind k) {
       return "counter";
     case MetricKind::kGauge:
       return "gauge";
+    case MetricKind::kGaugeSet:
+      return "gauge_set";
     case MetricKind::kStat:
       return "stat";
+    case MetricKind::kLatency:
+      return "latency";
   }
   return "unknown";
 }
@@ -136,6 +140,16 @@ std::string report_json(const RunReport& report) {
         append_kv(out, "sum", m.sum, f2);
         append_kv(out, "min", m.min, f2);
         append_kv(out, "max", m.max, f2);
+      } else if (m.kind == MetricKind::kLatency) {
+        out += ",\"count\":";
+        out += std::to_string(m.count);
+        bool f2 = false;
+        append_kv(out, "sum", m.sum, f2);
+        append_kv(out, "min", m.min, f2);
+        append_kv(out, "max", m.max, f2);
+        append_kv(out, "p50", m.latency.quantile(0.50), f2);
+        append_kv(out, "p95", m.latency.quantile(0.95), f2);
+        append_kv(out, "p99", m.latency.quantile(0.99), f2);
       } else {
         out += ",\"value\":";
         out += std::to_string(m.value);
@@ -240,6 +254,13 @@ void print_report(std::FILE* out, const RunReport& report) {
         std::fprintf(out,
                      "  %-40s n=%" PRIu64 " sum=%.6g min=%.6g max=%.6g\n",
                      m.name.c_str(), m.count, m.sum, m.min, m.max);
+      } else if (m.kind == MetricKind::kLatency) {
+        std::fprintf(out,
+                     "  %-40s n=%" PRIu64
+                     " p50=%.6g p95=%.6g p99=%.6g max=%.6g\n",
+                     m.name.c_str(), m.count, m.latency.quantile(0.50),
+                     m.latency.quantile(0.95), m.latency.quantile(0.99),
+                     m.max);
       } else {
         std::fprintf(out, "  %-40s %20" PRIu64 " (%s)\n", m.name.c_str(),
                      m.value, kind_name(m.kind));

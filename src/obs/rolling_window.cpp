@@ -1,0 +1,90 @@
+#include "obs/rolling_window.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace zh::obs {
+
+RollingWindow::RollingWindow(double max_window_seconds,
+                             std::size_t max_samples)
+    : max_window_seconds_(max_window_seconds), max_samples_(max_samples) {
+  ZH_REQUIRE(max_window_seconds > 0.0, "rolling window span must be > 0");
+  ZH_REQUIRE(max_samples >= 2, "rolling window needs >= 2 samples");
+}
+
+void RollingWindow::push(double now_seconds,
+                         std::vector<MetricRecord> snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(Sample{now_seconds, std::move(snapshot)});
+  while (ring_.size() > max_samples_ ||
+         (!ring_.empty() &&
+          ring_.front().t < now_seconds - max_window_seconds_)) {
+    ring_.pop_front();
+  }
+}
+
+std::size_t RollingWindow::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+const RollingWindow::Sample* RollingWindow::baseline_locked(
+    double window_seconds, double now) const {
+  if (ring_.size() < 2) return nullptr;
+  const double cutoff = now - window_seconds;
+  // Newest sample at or before the cutoff; the oldest one while history
+  // is still shorter than the window.
+  const Sample* best = &ring_.front();
+  for (const Sample& s : ring_) {
+    if (s.t <= cutoff) best = &s;
+  }
+  // The baseline must be strictly older than the newest sample.
+  if (best == &ring_.back()) best = &ring_.front();
+  return best != &ring_.back() ? best : nullptr;
+}
+
+const MetricRecord* RollingWindow::find(
+    const std::vector<MetricRecord>& records, const std::string& name) {
+  for (const MetricRecord& r : records) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+WindowRate RollingWindow::rate(const std::string& name,
+                               double window_seconds, double now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WindowRate out;
+  const Sample* base = baseline_locked(window_seconds, now);
+  if (base == nullptr) return out;
+  const Sample& newest = ring_.back();
+  const MetricRecord* a = find(base->records, name);
+  const MetricRecord* b = find(newest.records, name);
+  if (b == nullptr) return out;
+  const std::uint64_t before = a != nullptr ? a->value : 0;
+  out.delta = b->value > before ? b->value - before : 0;
+  out.span_seconds = newest.t - base->t;
+  if (out.span_seconds > 0.0) {
+    out.per_second = static_cast<double>(out.delta) / out.span_seconds;
+    out.valid = true;
+  }
+  return out;
+}
+
+LatencyHistogram RollingWindow::latency_delta(const std::string& name,
+                                              double window_seconds,
+                                              double now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Sample* base = baseline_locked(window_seconds, now);
+  if (base == nullptr) return LatencyHistogram{};
+  const MetricRecord* b = find(ring_.back().records, name);
+  if (b == nullptr || b->kind != MetricKind::kLatency) {
+    return LatencyHistogram{};
+  }
+  const MetricRecord* a = find(base->records, name);
+  if (a == nullptr || a->kind != MetricKind::kLatency) return b->latency;
+  return b->latency.since(a->latency);
+}
+
+}  // namespace zh::obs

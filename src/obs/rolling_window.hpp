@@ -1,0 +1,77 @@
+// Rolling-window aggregator: a ring of timestamped cumulative metric
+// snapshots, queried by subtracting an old snapshot from the newest.
+//
+// Window model. Every tick (the /metrics server's background thread, or
+// anything else that calls push()) appends `{t, metrics_snapshot()}`.
+// Entries older than `max_window_seconds` -- and beyond `max_samples` --
+// fall off the front. A windowed query picks the newest entry no
+// younger than `window` seconds as the baseline (falling back to the
+// oldest entry while history is still shorter than the window, so early
+// scrapes degrade to "since start" instead of reporting nothing):
+//   rate(counter)     = (newest - baseline) / (t_newest - t_baseline)
+//   window quantiles  = newest.latency.since(baseline.latency)
+// Both lean on cumulative series being subtractable: counters are
+// monotone u64s and latency histograms subtract per bucket exactly.
+// Deltas are clamped at zero so a metrics_reset mid-run degrades to an
+// empty window rather than wrapping.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/latency_histogram.hpp"
+#include "obs/metrics.hpp"
+
+namespace zh::obs {
+
+/// Per-second rate of a cumulative counter over a window.
+struct WindowRate {
+  bool valid = false;        ///< false: no baseline yet (or zero span)
+  double per_second = 0.0;
+  std::uint64_t delta = 0;   ///< raw increase over the window
+  double span_seconds = 0.0; ///< actual baseline..newest span used
+};
+
+class RollingWindow {
+ public:
+  explicit RollingWindow(double max_window_seconds = 120.0,
+                         std::size_t max_samples = 128);
+
+  /// Append a cumulative snapshot taken at `now_seconds` (any monotone
+  /// clock; callers use Timer/steady_clock) and expire old entries.
+  void push(double now_seconds, std::vector<MetricRecord> snapshot);
+
+  /// Number of retained samples (after expiry).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Counter/gauge rate of `name` over the trailing `window_seconds`.
+  [[nodiscard]] WindowRate rate(const std::string& name,
+                                double window_seconds, double now) const;
+
+  /// Windowed latency delta of `name`: newest minus baseline histogram.
+  /// Empty when the series is unknown or no samples landed in-window.
+  [[nodiscard]] LatencyHistogram latency_delta(const std::string& name,
+                                               double window_seconds,
+                                               double now) const;
+
+ private:
+  struct Sample {
+    double t = 0.0;
+    std::vector<MetricRecord> records;
+  };
+
+  [[nodiscard]] const Sample* baseline_locked(double window_seconds,
+                                              double now) const;
+  [[nodiscard]] static const MetricRecord* find(
+      const std::vector<MetricRecord>& records, const std::string& name);
+
+  mutable std::mutex mu_;
+  double max_window_seconds_;
+  std::size_t max_samples_;
+  std::deque<Sample> ring_;
+};
+
+}  // namespace zh::obs

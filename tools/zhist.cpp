@@ -33,6 +33,7 @@
 //     Multi-query batch through the QueryEngine: rasters load once, and
 //     Step-1 tile histograms are shared across queries via the tile
 //     cache. The JSON spec holds the query list (see cmd_query).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -41,6 +42,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json.hpp"
@@ -58,7 +60,8 @@ using namespace zh;
                "[--refine brute|scanline|auto] [--ranks N] "
                "[--fault-plan SPEC] [--checkpoint-dir DIR] [--resume] "
                "[--checkpoint-interval N] [--trace FILE] "
-               "[--metrics FILE] [--report]\n"
+               "[--metrics FILE] [--report] [--metrics-port N] "
+               "[--metrics-linger-ms N]\n"
                "  zhist encode <raster> <out.bq> [--tile N]\n"
                "  zhist decode <in.bq> <out.zgrid>\n"
                "  zhist render <raster> <out.ppm> [--max-edge N]\n"
@@ -67,7 +70,7 @@ using namespace zh;
                "  zhist zones <out.tsv> [--zones N] [--seed S]\n"
                "  zhist query --batch spec.json [--tile N] "
                "[--cache-budget-mb N] [--metrics FILE] [--trace FILE] "
-               "[--report]\n");
+               "[--report] [--metrics-port N] [--metrics-linger-ms N]\n");
   std::exit(2);
 }
 
@@ -97,6 +100,8 @@ struct Args {
   std::string trace;    ///< Chrome trace_event JSON output path
   std::string metrics;  ///< run-report JSON output path
   bool report = false;  ///< print the human-readable run report
+  int metrics_port = -1;  ///< serve /metrics on 127.0.0.1:N (0=ephemeral)
+  int metrics_linger_ms = 0;  ///< keep serving this long after the run
   std::string batch;    ///< JSON batch spec for `zhist query`
   std::size_t cache_budget_mb = 256;  ///< tile-cache budget for `query`
 };
@@ -166,6 +171,10 @@ Args parse(int argc, char** argv) {
       args.metrics = next();
     } else if (a == "--report") {
       args.report = true;
+    } else if (a == "--metrics-port") {
+      args.metrics_port = std::stoi(next());
+    } else if (a == "--metrics-linger-ms") {
+      args.metrics_linger_ms = std::stoi(next());
     } else if (a == "--batch") {
       args.batch = next();
     } else if (a == "--cache-budget-mb") {
@@ -207,8 +216,35 @@ bool setup_obs(const Args& args) {
     obs::set_trace_enabled(true);
   }
   if (!args.metrics.empty()) require_writable(args.metrics);
-  if (!args.metrics.empty() || args.report) obs::set_metrics_enabled(true);
+  if (!args.metrics.empty() || args.report || args.metrics_port >= 0) {
+    obs::set_metrics_enabled(true);
+  }
   return !args.trace.empty() || !args.metrics.empty() || args.report;
+}
+
+// Start the live /metrics endpoint when --metrics-port was given. The
+// bound port is printed to stderr (port 0 asks the kernel for one), so
+// scripts scrape `metrics: serving http://...` instead of guessing.
+void start_metrics_server(const Args& args,
+                          std::optional<obs::MetricsServer>& server) {
+  if (args.metrics_port >= 0) {
+    obs::MetricsServerOptions opt;
+    opt.port = static_cast<std::uint16_t>(args.metrics_port);
+    server.emplace(opt);
+    std::fprintf(stderr, "metrics: serving http://127.0.0.1:%u/metrics\n",
+                 static_cast<unsigned>(server->port()));
+  }
+}
+
+// Hold the endpoint open after the run for --metrics-linger-ms, so a
+// scraper racing a short batch still gets a deterministic window (the
+// check.sh obs stage relies on this).
+void linger_metrics(const Args& args,
+                    const std::optional<obs::MetricsServer>& server) {
+  if (server.has_value() && args.metrics_linger_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(args.metrics_linger_ms));
+  }
 }
 
 // Emit the requested outputs: human report, metrics JSON, trace JSON.
@@ -251,6 +287,8 @@ obs::RunReport base_report(const Args& args, const DemRaster& raster,
 int cmd_hist(const Args& args) {
   if (args.positional.size() != 2) usage();
   const bool with_obs = setup_obs(args);
+  std::optional<obs::MetricsServer> metrics_server;
+  start_metrics_server(args, metrics_server);
   const DemRaster raster = load_raster(args.positional[0]);
   const PolygonSet zones = read_polygon_tsv(args.positional[1]);
   std::fprintf(stderr, "raster %lldx%lld, %zu zones, %u bins, tile %lld\n",
@@ -389,6 +427,7 @@ int cmd_hist(const Args& args) {
       }
       finish_obs(args, report);
     }
+    linger_metrics(args, metrics_server);
     return cres.degraded ? 1 : 0;
   }
 
@@ -427,6 +466,7 @@ int cmd_hist(const Args& args) {
     append_work_counters(report, result.work);
     finish_obs(args, report);
   }
+  linger_metrics(args, metrics_server);
   return 0;
 }
 
@@ -584,6 +624,8 @@ int cmd_catalog(const Args& args) {
 int cmd_query(const Args& args) {
   if (args.batch.empty() || !args.positional.empty()) usage();
   const bool with_obs = setup_obs(args);
+  std::optional<obs::MetricsServer> metrics_server;
+  start_metrics_server(args, metrics_server);
   const obs::JsonValue spec = obs::parse_json_file(args.batch);
   ZH_REQUIRE(spec.is_object(), "batch spec must be a JSON object: ",
              args.batch);
@@ -717,6 +759,7 @@ int cmd_query(const Args& args) {
     report.counters.emplace_back("cache.bytes", stats.bytes);
     finish_obs(args, report);
   }
+  linger_metrics(args, metrics_server);
   return 0;
 }
 
